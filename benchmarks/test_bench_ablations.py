@@ -1,0 +1,32 @@
+"""Benches: the four design-choice ablations DESIGN.md calls out."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ablation_tox(benchmark):
+    """T_ox scaling rate is the root cause of slope degradation."""
+    result = run_once(benchmark, run_experiment, "ablation_tox")
+    assert result.all_hold()
+    series = result.get_series("S_S at 32nm vs T_ox rate")
+    assert np.all(np.diff(series.y) < 0.0)
+
+
+def test_bench_ablation_halo(benchmark):
+    """Halo rescues short-channel leakage; the split doesn't move S_S."""
+    result = run_once(benchmark, run_experiment, "ablation_halo")
+    assert result.all_hold()
+
+
+def test_bench_ablation_leakage(benchmark):
+    """The +25%/gen leakage budget trades V_th for drive."""
+    result = run_once(benchmark, run_experiment, "ablation_leakage")
+    assert result.all_hold()
+
+
+def test_bench_ablation_analytic(benchmark):
+    """Calibrated Eq. 2(b) agrees with the numerical Poisson route."""
+    result = run_once(benchmark, run_experiment, "ablation_analytic")
+    assert result.all_hold()

@@ -1,0 +1,74 @@
+"""Benches: the extension experiments (multi-V_th, high-k, temperature).
+
+These exercise the paper's forward-looking remarks: multiple V_th
+offerings (Section 3.2), high-k as "the only solution" for oxide
+scaling (Section 2.2), and environmental robustness of the proposed
+devices.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_multivth(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_multivth")
+    assert result.all_hold()
+
+
+def test_bench_ext_highk(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_highk")
+    assert result.all_hold()
+    ss = result.get_series("S_S at 32nm vs EOT")
+    assert np.all(np.diff(ss.y) < 0.0)
+
+
+def test_bench_ext_temperature(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_temperature")
+    assert result.all_hold()
+
+
+def test_bench_ext_corners(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_corners")
+    assert result.all_hold()
+
+
+def test_bench_eq3(benchmark):
+    result = run_once(benchmark, run_experiment, "eq3")
+    assert result.all_hold()
+
+
+def test_bench_ext_pareto(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_pareto")
+    assert result.all_hold()
+    sub = result.get_series("frontier sub-vth")
+    sup = result.get_series("frontier super-vth")
+    # Who wins: the sub-V_th frontier reaches lower energies.
+    assert sub.y.min() < sup.y.min()
+
+
+def test_bench_ext_projection(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_projection")
+    assert result.all_hold()
+    ss_sup = result.get_series("S_S projection super-vth")
+    ss_sub = result.get_series("S_S projection sub-vth")
+    assert ss_sup.y[-1] > ss_sub.y[-1] + 20.0   # the gap at 16nm
+
+
+def test_bench_ext_sensitivity(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_sensitivity")
+    assert result.all_hold()
+    snm = result.get_series("SNM advantage vs calibration")
+    assert snm.y.min() > 0.08
+
+
+def test_bench_ext_dvs(benchmark):
+    result = run_once(benchmark, run_experiment, "ext_dvs")
+    assert result.all_hold()
+
+
+def test_bench_headlines(benchmark):
+    result = run_once(benchmark, run_experiment, "headlines")
+    assert result.all_hold()
+    assert len(result.rows) == 5

@@ -1,0 +1,13 @@
+"""Bench: Fig. 1(b) — the optimised 90nm doping-profile raster."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig1(benchmark):
+    result = run_once(benchmark, run_experiment, "fig1")
+    assert result.all_hold()
+    edge = result.get_series("doping at channel edge")
+    mid = result.get_series("doping at mid-channel")
+    assert edge.y.max() > mid.y.max()

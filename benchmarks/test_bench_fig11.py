@@ -1,0 +1,19 @@
+"""Bench: Fig. 11 — normalized FO1 delay at 250 mV under both strategies.
+
+Shape (paper): sub-V_th delay improves monotonically (~18%/gen in the
+paper) while super-V_th delay blows up; crossover by the 32nm node.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig11(benchmark):
+    result = run_once(benchmark, run_experiment, "fig11")
+    assert result.all_hold()
+    sub = result.get_series("delay sub-vth @250mV (normalized)")
+    sup = result.get_series("delay super-vth @250mV (normalized)")
+    assert np.all(np.diff(sub.y) < 0.0)      # monotone improvement
+    assert sup.y[-1] > 1.0                   # super-vth regresses

@@ -1,0 +1,22 @@
+"""Bench: Fig. 12 — chain energy and V_min under both strategies.
+
+Shape (paper): ~23% less energy at the 32nm node (>= 8% asserted, the
+model's weak-inversion capacitances give ~15%), sub-V_th V_min flat
+within ~15 mV while super-V_th V_min climbs > 20 mV.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig12(benchmark):
+    result = run_once(benchmark, run_experiment, "fig12")
+    assert result.all_hold()
+    e_sub = result.get_series("energy sub-vth @Vmin")
+    e_sup = result.get_series("energy super-vth @Vmin")
+    v_sub = result.get_series("Vmin sub-vth")
+    v_sup = result.get_series("Vmin super-vth")
+    assert e_sub.y[-1] < 0.92 * e_sup.y[-1]
+    assert (v_sub.y.max() - v_sub.y.min()) < 15.0     # mV
+    assert (v_sup.y[-1] - v_sup.y[0]) > 20.0          # mV

@@ -1,0 +1,19 @@
+"""Bench: Fig. 2 — S_S and I_on/I_off degradation under super-V_th scaling.
+
+Shape (paper): S_S degrades ~11% (direction + acceleration asserted),
+I_on/I_off at 250 mV drops ~60% (>= 45% asserted).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig2(benchmark):
+    result = run_once(benchmark, run_experiment, "fig2")
+    assert result.all_hold()
+    ss = result.get_series("S_S (super-vth)")
+    ratio = result.get_series("Ion/Ioff @250mV (super-vth)")
+    # Who wins / by what factor: slope worsens, ratio collapses.
+    assert ss.total_change() > 0.05
+    assert ratio.total_change() < -0.45

@@ -1,0 +1,18 @@
+"""Bench: Fig. 3 — NFET on-current vs node (nominal and 250 mV).
+
+Shape (paper): leakage-constrained scaling loses drive current, and
+loses it faster in the sub-V_th regime.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig3(benchmark):
+    result = run_once(benchmark, run_experiment, "fig3")
+    assert result.all_hold()
+    nominal = result.get_series("Ion @nominal Vdd")
+    sub = result.get_series("Ion @250mV")
+    assert nominal.total_change() < 0.0
+    assert sub.total_change() < nominal.total_change()

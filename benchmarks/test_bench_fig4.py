@@ -1,0 +1,16 @@
+"""Bench: Fig. 4 — inverter SNM vs node under super-V_th scaling.
+
+Shape (paper): >10% SNM loss at 250 mV between the 90nm and 32nm nodes,
+monotone across nodes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig4(benchmark):
+    result = run_once(benchmark, run_experiment, "fig4")
+    assert result.all_hold()
+    sub = result.get_series("SNM @250mV")
+    assert sub.total_change() < -0.10

@@ -1,0 +1,18 @@
+"""Bench: Fig. 5 — transient FO1 delay vs node under super-V_th scaling.
+
+Shape (paper): nominal-V_dd delay improves (but slower than 30%/gen);
+250 mV delay gets worse with scaling.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig5(benchmark):
+    result = run_once(benchmark, run_experiment, "fig5")
+    assert result.all_hold()
+    nominal = result.get_series("delay @nominal Vdd")
+    sub = result.get_series("delay @250mV")
+    assert nominal.total_change() < 0.0
+    assert sub.total_change() > 0.5

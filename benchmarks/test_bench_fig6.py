@@ -1,0 +1,20 @@
+"""Bench: Fig. 6 — chain energy/cycle and V_min under super-V_th scaling.
+
+Shape (paper): energy falls with scaling, V_min rises ~40 mV, and the
+Eq. 8 factor C_L*S_S^2 tracks the simulated energy (r > 0.9).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, run_experiment, "fig6")
+    assert result.all_hold()
+    energy = result.get_series("energy/cycle @Vmin")
+    vmin = result.get_series("Vmin")
+    factor = result.get_series("C_L*S_S^2 (normalized to energy)")
+    assert energy.total_change() < 0.0
+    assert 20.0 < (vmin.y[-1] - vmin.y[0]) < 80.0     # mV
+    assert energy.pearson_r(factor) > 0.90

@@ -1,0 +1,18 @@
+"""Bench: Fig. 7 — S_S vs L_poly, fixed vs optimized doping (45nm node).
+
+Shape (paper): the optimized-doping curve improves monotonically with
+gate length and beats the fixed profile at long gates.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig7(benchmark):
+    result = run_once(benchmark, run_experiment, "fig7")
+    assert result.all_hold()
+    fixed = result.get_series("fixed doping profile")
+    optimized = result.get_series("optimized doping")
+    assert optimized.y[-1] < fixed.y[-1]
+    assert optimized.y[-1] < optimized.y[0]

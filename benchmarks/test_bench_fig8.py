@@ -1,0 +1,19 @@
+"""Bench: Fig. 8 — energy and delay factors vs L_poly (45nm node).
+
+Shape (paper): interior minima; the energy-optimal gate is longer than
+the roadmap's 32 nm, and choosing it costs almost no delay.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig8(benchmark):
+    result = run_once(benchmark, run_experiment, "fig8")
+    assert result.all_hold()
+    energy = result.get_series("energy factor C_L*S_S^2")
+    e_idx = int(np.argmin(energy.y))
+    assert 0 < e_idx < energy.y.size - 1       # interior minimum
+    assert energy.x[e_idx] > 32.0              # longer than roadmap gate

@@ -1,0 +1,22 @@
+"""Bench: Fig. 9 — L_poly and S_S trajectories under both strategies.
+
+Shape (paper): sub-V_th gates longer and slower-scaling; sub-V_th S_S
+flat near 80 mV/dec while super-V_th S_S degrades every generation.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig9(benchmark):
+    result = run_once(benchmark, run_experiment, "fig9")
+    assert result.all_hold()
+    l_sub = result.get_series("L_poly sub-vth")
+    l_sup = result.get_series("L_poly super-vth")
+    ss_sub = result.get_series("S_S sub-vth")
+    ss_sup = result.get_series("S_S super-vth")
+    assert np.all(l_sub.y[1:] > l_sup.y[1:])
+    assert (ss_sub.y.max() - ss_sub.y.min()) < 5.0
+    assert np.all(np.diff(ss_sup.y) > 0.0)

@@ -1,0 +1,72 @@
+"""Benches: the hot computational kernels underneath the experiments.
+
+Useful for performance regression tracking: device construction (halo
+self-consistency), the Poisson solver, VTC/SNM extraction, transient
+switching, and the V_min search.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.circuit import Inverter, fo1_delay, noise_margins
+from repro.circuit.energy import find_vmin
+from repro.device import nfet, pfet
+from repro.tcad.simulator import DeviceSimulator
+
+
+def _build_device():
+    return nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                n_p_halo_cm3=1.5e18)
+
+
+def _build_inverter(vdd=0.25):
+    return Inverter(
+        nfet=_build_device(),
+        pfet=pfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                  n_p_halo_cm3=1.5e18, width_um=2.0),
+        vdd=vdd,
+    )
+
+
+def test_bench_device_construction(benchmark):
+    dev = benchmark(_build_device)
+    assert 70.0 < dev.ss_mv_per_dec < 100.0
+
+
+def test_bench_compact_iv_evaluation(benchmark):
+    dev = _build_device()
+    vgs = np.linspace(0.0, 1.2, 512)
+    vds = np.full_like(vgs, 0.6)
+    currents = benchmark(dev.iv.ids, vgs, vds)
+    assert np.all(np.asarray(currents) >= 0.0)
+
+
+def test_bench_poisson_solve(benchmark):
+    sim = DeviceSimulator(_build_device())
+    solution = benchmark(sim.solve, 0.6)
+    assert solution.iterations < 100
+
+
+def test_bench_numeric_id_vg(benchmark):
+    sim = DeviceSimulator(_build_device())
+    vgs = np.linspace(-0.1, 1.2, 27)
+    curve = run_once(benchmark, sim.id_vg, 1.2, vgs)
+    assert curve.ids[-1] > curve.ids[0]
+
+
+def test_bench_snm_extraction(benchmark):
+    inv = _build_inverter()
+    nm = run_once(benchmark, noise_margins, inv)
+    assert nm.snm > 0.0
+
+
+def test_bench_transient_fo1(benchmark):
+    inv = _build_inverter()
+    result = run_once(benchmark, fo1_delay, inv, True)
+    assert result.transient_s > 0.0
+
+
+def test_bench_vmin_search(benchmark):
+    inv = _build_inverter(vdd=0.3)
+    result = run_once(benchmark, find_vmin, inv)
+    assert 0.08 < result.vmin < 0.7

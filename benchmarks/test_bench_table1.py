@@ -1,0 +1,11 @@
+"""Bench: Table 1 — generalized scaling rules."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run_experiment, "table1")
+    assert result.all_hold()
+    assert len(result.rows) == 6

@@ -1,0 +1,24 @@
+"""Bench: Table 2 — super-V_th device family.
+
+Shape assertions (paper): the leakage budget binds at every node,
+V_th,sat climbs monotonically (paper: 403 -> 461 mV) and the intrinsic
+delay still improves at nominal V_dd.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.scaling.supervth import build_super_vth_family
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, run_experiment, "table2")
+    assert result.all_hold()
+    assert len(result.rows) == 4
+
+
+def test_bench_supervth_optimizer(benchmark):
+    """Time the raw Fig. 1(c) optimisation flow (uncached)."""
+    family = run_once(benchmark, build_super_vth_family)
+    ss = [d.nfet.ss_mv_per_dec for d in family.designs]
+    assert all(b > a for a, b in zip(ss, ss[1:]))

@@ -1,0 +1,24 @@
+"""Bench: Table 3 — sub-V_th device family.
+
+Shape assertions (paper): gate lengths longer than the roadmap and
+scaling slower than 30%/generation; normalized C_L*S_S^2 and C_L*S_S
+falling every generation; S_S nearly flat.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.scaling.subvth import build_sub_vth_family
+
+
+def test_bench_table3(benchmark):
+    result = run_once(benchmark, run_experiment, "table3")
+    assert result.all_hold()
+    assert len(result.rows) == 4
+
+
+def test_bench_subvth_optimizer(benchmark):
+    """Time the raw energy-optimal L_poly flow (uncached)."""
+    family = run_once(benchmark, build_sub_vth_family)
+    ss = [d.nfet.ss_mv_per_dec for d in family.designs]
+    assert max(ss) - min(ss) < 5.0

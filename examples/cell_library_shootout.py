@@ -1,0 +1,64 @@
+"""Cell-library shootout: the two strategies as a digital designer sees them.
+
+Characterises the INV/NAND2/NOR2 cell set of both 32nm device families
+at three supplies (liberty-style tables), then times a representative
+critical path (a ripple-carry-adder-class chain of NAND2 stages, sized
+by logical effort) and reports the frequency and energy each library
+delivers at its own minimum-energy supply.
+
+Run:  python examples/cell_library_shootout.py   (~15 s)
+"""
+
+from repro.circuit import InverterChain, size_path
+from repro.circuit.cell_library import characterise_design
+from repro.scaling import build_sub_vth_family, build_super_vth_family
+from repro.units import format_quantity
+
+SUPPLIES = (0.25, 0.30, 0.40)
+#: A bit-slice-class critical path: alternating NAND2 logic.
+CRITICAL_PATH = ["nand2", "inv", "nand2", "inv", "nand2", "inv",
+                 "nand2", "inv"]
+PATH_FANOUT = 12.0
+
+
+def main() -> None:
+    designs = {
+        "super-vth": build_super_vth_family().design("32nm"),
+        "sub-vth": build_sub_vth_family().design("32nm"),
+    }
+
+    for label, design in designs.items():
+        for vdd in SUPPLIES:
+            library = characterise_design(design, vdd=vdd)
+            print(library.render())
+            print()
+
+    print("=" * 64)
+    print(f"Critical path: {' -> '.join(CRITICAL_PATH)} "
+          f"(electrical effort {PATH_FANOUT:g})\n")
+    for label, design in designs.items():
+        mep = InverterChain(design.inverter(0.3)).minimum_energy_point()
+        inv = design.inverter(mep.vmin)
+        timing = size_path(inv, CRITICAL_PATH, PATH_FANOUT)
+        f_max = 1.0 / timing.delay_s
+        print(f"{label:10s} @ Vmin={1000 * mep.vmin:.0f} mV: "
+              f"path delay {format_quantity(timing.delay_s, 's')}, "
+              f"f_max {format_quantity(f_max, 'Hz')}, "
+              f"E/cycle {format_quantity(mep.energy.total_j, 'J')}")
+
+    sup = designs["super-vth"]
+    sub = designs["sub-vth"]
+    mep_sup = InverterChain(sup.inverter(0.3)).minimum_energy_point()
+    mep_sub = InverterChain(sub.inverter(0.3)).minimum_energy_point()
+    t_sup = size_path(sup.inverter(mep_sup.vmin), CRITICAL_PATH,
+                      PATH_FANOUT).delay_s
+    t_sub = size_path(sub.inverter(mep_sub.vmin), CRITICAL_PATH,
+                      PATH_FANOUT).delay_s
+    print(f"\nsub-V_th advantage at V_min: "
+          f"{t_sup / t_sub:.1f}x faster, "
+          f"{100 * (1 - mep_sub.energy.total_j / mep_sup.energy.total_j):.0f}"
+          f" % less energy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: build a subthreshold device pair and analyse an inverter.
+
+Builds a 90nm-class NFET/PFET pair with the paper's four scaling
+parameters, prints the device-level metrics (S_S, V_th, I_on/I_off),
+then analyses a sub-V_th inverter: noise margins, FO1 delay, and the
+minimum-energy operating point of a 30-stage chain.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.circuit import Inverter, InverterChain, fo1_delay, noise_margins
+from repro.device import nfet, pfet
+from repro.units import format_quantity
+
+
+def main() -> None:
+    # The paper's four scaling parameters + width.
+    n = nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+             n_p_halo_cm3=1.5e18, width_um=1.0)
+    p = pfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+             n_p_halo_cm3=1.5e18, width_um=2.0)
+
+    print(render_table(
+        ("metric", "NFET", "PFET"),
+        [
+            ("L_poly", "65 nm", "65 nm"),
+            ("L_eff", f"{n.geometry.l_eff_nm:.1f} nm",
+             f"{p.geometry.l_eff_nm:.1f} nm"),
+            ("S_S", f"{n.ss_mv_per_dec:.1f} mV/dec",
+             f"{p.ss_mv_per_dec:.1f} mV/dec"),
+            ("V_th (V_ds=50mV)", f"{1000 * n.vth(0.05):.0f} mV",
+             f"{1000 * p.vth(0.05):.0f} mV"),
+            ("I_off @1.2V", format_quantity(n.i_off_per_um(1.2), "A/um"),
+             format_quantity(p.i_off_per_um(1.2), "A/um")),
+            ("I_on @1.2V", format_quantity(n.i_on_per_um(1.2), "A/um"),
+             format_quantity(p.i_on_per_um(1.2), "A/um")),
+            ("I_on/I_off @250mV", f"{n.on_off_ratio(0.25):.0f}",
+             f"{p.on_off_ratio(0.25):.0f}"),
+        ],
+        title="== Device metrics ==",
+    ))
+
+    inv = Inverter(nfet=n, pfet=p, vdd=0.25)
+    margins = noise_margins(inv)
+    delay = fo1_delay(inv, transient=True)
+    print("\n== Sub-V_th inverter @ V_dd = 250 mV ==")
+    print(f"switching threshold : {1000 * inv.switching_threshold():.1f} mV")
+    print(f"SNM (gain=-1)       : {1000 * margins.snm:.1f} mV "
+          f"(NM_L {1000 * margins.nm_low:.1f}, "
+          f"NM_H {1000 * margins.nm_high:.1f})")
+    print(f"FO1 delay           : {format_quantity(delay.transient_s, 's')} "
+          f"(analytic {format_quantity(delay.analytic_s, 's')})")
+
+    chain = InverterChain(inv.with_vdd(0.3), n_stages=30, activity=0.1)
+    mep = chain.minimum_energy_point()
+    print("\n== 30-stage chain, alpha = 0.1 ==")
+    print(f"V_min               : {1000 * mep.vmin:.0f} mV")
+    print(f"energy per cycle    : {format_quantity(mep.energy.total_j, 'J')}")
+    print(f"leakage fraction    : {100 * mep.energy.leakage_fraction:.0f} %")
+
+
+if __name__ == "__main__":
+    main()

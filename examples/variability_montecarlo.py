@@ -1,0 +1,64 @@
+"""Monte-Carlo timing and noise-margin variability at the 32nm node.
+
+The paper's introduction warns that "timing variability grows
+dramatically as V_dd reduces, forcing pessimistic design practices and
+large timing margins".  This example quantifies that with random-
+dopant-fluctuation Monte Carlo on the two 32nm device families:
+
+* sigma(V_th) per device (RDF),
+* FO1-delay distribution at 250 mV (sigma/mu and the 95th-percentile
+  margin a designer must budget),
+* SNM distribution, including the fraction of cells that lose
+  regeneration entirely.
+
+Run:  python examples/variability_montecarlo.py   (~20 s)
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.scaling import build_sub_vth_family, build_super_vth_family
+from repro.variability import (
+    delay_distribution,
+    rdf_sigma_vth,
+    snm_distribution,
+)
+
+VDD = 0.25
+N_TRIALS_DELAY = 200
+N_TRIALS_SNM = 80
+
+
+def main() -> None:
+    designs = {
+        "super-vth": build_super_vth_family().design("32nm"),
+        "sub-vth": build_sub_vth_family().design("32nm"),
+    }
+    rows = []
+    for label, design in designs.items():
+        inv = design.inverter(VDD)
+        sigma_n = rdf_sigma_vth(design.nfet)
+        delays = delay_distribution(inv, n_trials=N_TRIALS_DELAY)
+        snms = snm_distribution(inv, n_trials=N_TRIALS_SNM)
+        failures = float(np.mean(snms.samples <= 0.0))
+        rows.append((
+            label,
+            f"{1000 * sigma_n:.1f}",
+            f"{100 * delays.sigma_over_mean:.0f}",
+            f"{delays.p95 / delays.p50:.2f}",
+            f"{1000 * snms.mean:.1f}",
+            f"{100 * failures:.1f}",
+        ))
+    print(render_table(
+        ("strategy", "sigma(Vth) mV", "delay sigma/mu %",
+         "p95/p50 delay", "mean SNM mV", "SNM failures %"),
+        rows,
+        title=f"== 32nm RDF Monte Carlo at V_dd = {1000 * VDD:.0f} mV ==",
+    ))
+    print("\nThe sub-V_th device's longer gate (larger area) and lighter "
+          "channel doping buy it a variability margin on top of its "
+          "nominal SNM and delay advantages.")
+
+
+if __name__ == "__main__":
+    main()

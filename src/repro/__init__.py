@@ -1,0 +1,63 @@
+"""repro — reproduction of *Nanometer Device Scaling in Subthreshold
+Circuits* (Hanson, Seok, Sylvester, Blaauw — DAC 2007).
+
+The package layers:
+
+* :mod:`repro.materials` / :mod:`repro.device` — a bulk-MOSFET compact
+  model with the paper's four scaling parameters (L_poly, T_ox, N_sub,
+  N_p,halo),
+* :mod:`repro.tcad` — a numerical 1-D Poisson / quasi-2-D device
+  simulator standing in for MEDICI,
+* :mod:`repro.circuit` — inverter VTC/SNM, transient delay, and
+  minimum-energy (V_min) analysis,
+* :mod:`repro.scaling` — the super-V_th (Table 2) and proposed
+  sub-V_th (Table 3) scaling-strategy optimisers,
+* :mod:`repro.experiments` — one module per paper table/figure,
+* :mod:`repro.variability` — RDF/Monte-Carlo extension.
+
+Quick start::
+
+    from repro.device import nfet, pfet
+    from repro.circuit import Inverter, noise_margins
+
+    n = nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+             n_p_halo_cm3=1.5e18)
+    p = pfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+             n_p_halo_cm3=1.5e18)
+    inv = Inverter(n, p, vdd=0.25)
+    print(noise_margins(inv).snm)
+"""
+
+from .constants import thermal_voltage
+from .device import MOSFET, Polarity, nfet, pfet
+from .circuit import Inverter, noise_margins, fo1_delay, InverterChain
+from .scaling import (
+    build_super_vth_family,
+    build_sub_vth_family,
+    roadmap_nodes,
+    node_by_name,
+)
+from .tcad import DeviceSimulator
+from .experiments import run_experiment, list_experiments
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "thermal_voltage",
+    "MOSFET",
+    "Polarity",
+    "nfet",
+    "pfet",
+    "Inverter",
+    "noise_margins",
+    "fo1_delay",
+    "InverterChain",
+    "build_super_vth_family",
+    "build_sub_vth_family",
+    "roadmap_nodes",
+    "node_by_name",
+    "DeviceSimulator",
+    "run_experiment",
+    "list_experiments",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analysis utilities: sweeps, labelled series, tables and reports."""
+
+from .series import Series
+from .sweep import sweep_1d, sweep_grid
+from .tables import render_table, format_sig
+from .report import Comparison, ExperimentResult
+from .plotting import render_ascii_chart, sparkline
+
+__all__ = [
+    "Series",
+    "sweep_1d",
+    "sweep_grid",
+    "render_table",
+    "format_sig",
+    "Comparison",
+    "ExperimentResult",
+    "render_ascii_chart",
+    "sparkline",
+]

@@ -1,0 +1,92 @@
+"""Terminal-friendly plotting: ASCII line charts for experiment series.
+
+The reproduction runs in headless/offline environments, so figures are
+rendered as compact ASCII charts (one character column per x-bucket,
+rows spanning the y-range).  Good enough to eyeball every reproduced
+figure's shape directly from ``python -m repro run figN --plot``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+from .series import Series
+
+#: Glyphs used for successive series in one chart.
+GLYPHS = "*o+x#%@"
+
+
+def render_ascii_chart(series_list: list[Series], width: int = 64,
+                       height: int = 16, logy: bool = False) -> str:
+    """Render one or more series into an ASCII chart.
+
+    All series share the x and y axes; y may be log-scaled for the
+    current/energy figures.  Returns a multi-line string.
+    """
+    if not series_list:
+        raise ParameterError("need at least one series")
+    if width < 16 or height < 4:
+        raise ParameterError("chart too small to be legible")
+    if len(series_list) > len(GLYPHS):
+        raise ParameterError(f"at most {len(GLYPHS)} series per chart")
+
+    xs = np.concatenate([s.x for s in series_list])
+    ys = np.concatenate([s.y for s in series_list])
+    if logy:
+        if np.any(ys <= 0.0):
+            raise ParameterError("log-scale chart requires positive y")
+        ys = np.log10(ys)
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, series in zip(GLYPHS, series_list):
+        y_vals = np.log10(series.y) if logy else series.y
+        # Dense linear interpolation so lines read as lines.
+        x_dense = np.linspace(series.x.min(), series.x.max(), width * 4)
+        order = np.argsort(series.x)
+        y_dense = np.interp(x_dense, series.x[order], y_vals[order])
+        for xv, yv in zip(x_dense, y_dense):
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    y_top = 10.0 ** y_hi if logy else y_hi
+    y_bot = 10.0 ** y_lo if logy else y_lo
+    lines = [f"{y_top:11.4g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + " |" + "".join(row))
+    lines.append(f"{y_bot:11.4g} +" + "".join(grid[-1]))
+    axis = " " * 13 + f"{x_lo:<.4g}" + " " * max(
+        width - len(f"{x_lo:<.4g}") - len(f"{x_hi:.4g}"), 1) + f"{x_hi:.4g}"
+    lines.append(axis)
+    legend = "   ".join(f"{glyph} {s.label}"
+                        for glyph, s in zip(GLYPHS, series_list))
+    lines.append(" " * 13 + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float] | np.ndarray, width: int | None = None
+              ) -> str:
+    """A one-line unicode sparkline (eight-level blocks).
+
+    >>> sparkline([1, 2, 3, 4])
+    '▁▃▆█'
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ParameterError("sparkline needs values")
+    if width is not None and width < arr.size:
+        idx = np.linspace(0, arr.size - 1, width).round().astype(int)
+        arr = arr[idx]
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return blocks[0] * arr.size
+    levels = ((arr - lo) / (hi - lo) * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[level] for level in levels)

@@ -1,0 +1,111 @@
+"""Experiment result containers and paper-vs-measured comparisons.
+
+Every experiment returns an :class:`ExperimentResult`: the reproduced
+table rows / figure series plus a list of :class:`Comparison` records
+that pair each paper claim with the measured value.  EXPERIMENTS.md is
+generated from these records, and the benchmark suite asserts on the
+``holds`` flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .series import Series
+from .tables import format_sig, render_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-claim-vs-measurement record.
+
+    Attributes
+    ----------
+    claim:
+        The paper's statement ("S_S degrades ~11% from 90nm to 32nm").
+    paper_value / measured_value:
+        Numeric values in the same unit.
+    unit:
+        Unit label for rendering.
+    holds:
+        Whether the *qualitative* claim holds in the reproduction
+        (set by the experiment's own criterion, not strict equality).
+    note:
+        Free-form context (calibration caveats, definitions).
+    """
+
+    claim: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    holds: bool = True
+    note: str = ""
+
+    def render(self) -> str:
+        """One-line human-readable rendering."""
+        status = "OK " if self.holds else "MISS"
+        return (f"[{status}] {self.claim}: paper {format_sig(self.paper_value)}"
+                f"{self.unit} vs measured {format_sig(self.measured_value)}"
+                f"{self.unit}" + (f" ({self.note})" if self.note else ""))
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The output of one reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        "table2", "fig4", ...
+    title:
+        Human-readable title.
+    series:
+        Figure payload (empty for pure tables).
+    headers / rows:
+        Table payload (empty for pure figures).
+    comparisons:
+        Paper-vs-measured records.
+    """
+
+    experiment_id: str
+    title: str
+    series: tuple[Series, ...] = ()
+    headers: tuple[str, ...] = ()
+    rows: tuple[tuple, ...] = ()
+    comparisons: tuple[Comparison, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ParameterError("experiment needs an id")
+        if self.rows and not self.headers:
+            raise ParameterError("table rows need headers")
+
+    def get_series(self, label: str) -> Series:
+        """Look up a series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        known = ", ".join(s.label for s in self.series)
+        raise ParameterError(f"no series {label!r}; have: {known}")
+
+    def all_hold(self) -> bool:
+        """True when every recorded claim holds."""
+        return all(c.holds for c in self.comparisons)
+
+    def render(self) -> str:
+        """Full plain-text rendering (tables, series, comparisons)."""
+        parts: list[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows))
+        for s in self.series:
+            header = f"-- {s.label} ({s.x_label} vs {s.y_label}) --"
+            body = "\n".join(
+                f"  {format_sig(x, 4)}\t{format_sig(y, 4)}"
+                for x, y in s.as_rows()
+            )
+            parts.append(f"{header}\n{body}")
+        if self.comparisons:
+            parts.append("-- paper vs measured --")
+            parts.extend(c.render() for c in self.comparisons)
+        return "\n".join(parts)

@@ -1,0 +1,73 @@
+"""Labelled data series — the payload of every reproduced figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled (x, y) series of a figure.
+
+    Attributes
+    ----------
+    label:
+        Legend label ("super-vth @250mV", ...).
+    x / y:
+        Sample arrays of equal length.
+    x_label / y_label:
+        Axis descriptions, units included.
+    """
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.ndim != 1 or x.shape != y.shape:
+            raise ParameterError("series needs matching 1-D x and y arrays")
+        if x.size == 0:
+            raise ParameterError("series cannot be empty")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def normalized(self, reference: float | None = None) -> "Series":
+        """Series scaled so the reference value (default: first y) is 1."""
+        ref = self.y[0] if reference is None else reference
+        if ref == 0.0:
+            raise ParameterError("cannot normalise by zero")
+        return Series(label=self.label, x=self.x, y=self.y / ref,
+                      x_label=self.x_label,
+                      y_label=f"{self.y_label} (normalized)")
+
+    def total_change(self) -> float:
+        """Fractional change from first to last sample."""
+        if self.y[0] == 0.0:
+            raise ParameterError("cannot normalise by zero")
+        return float(self.y[-1] / self.y[0] - 1.0)
+
+    def per_step_change(self) -> list[float]:
+        """Fractional change between consecutive samples."""
+        if np.any(self.y[:-1] == 0.0):
+            raise ParameterError("cannot normalise by zero")
+        return list(np.diff(self.y) / self.y[:-1])
+
+    def pearson_r(self, other: "Series") -> float:
+        """Correlation between this and another series' y values."""
+        if other.y.shape != self.y.shape:
+            raise ParameterError("series lengths differ")
+        if self.y.size < 3:
+            raise ParameterError("need at least 3 samples for correlation")
+        return float(np.corrcoef(self.y, other.y)[0, 1])
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """(x, y) tuples, e.g. for table rendering."""
+        return list(zip(self.x.tolist(), self.y.tolist()))

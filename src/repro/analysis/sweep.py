@@ -1,0 +1,86 @@
+"""Generic parameter-sweep helpers.
+
+Thin, explicit wrappers: a 1-D sweep evaluating a callable over a grid
+(with optional per-point error tolerance) and a cartesian grid sweep.
+Used by experiments for V_dd sweeps, L_poly sweeps and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated sweep point.
+
+    ``error`` holds the exception message when the evaluation failed
+    and failures were tolerated; ``value`` is ``None`` in that case.
+    """
+
+    inputs: tuple[float, ...]
+    value: object | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the evaluation succeeded."""
+        return self.error is None
+
+
+def sweep_1d(func: Callable[[float], object], grid: Iterable[float],
+             tolerate_failures: bool = False) -> list[SweepPoint]:
+    """Evaluate ``func`` over a 1-D grid.
+
+    With ``tolerate_failures`` the sweep records exceptions instead of
+    propagating — useful for sweeps that run off a model's validity
+    edge (e.g. SNM at supplies below the regeneration limit).
+    """
+    points: list[SweepPoint] = []
+    for x in grid:
+        x = float(x)
+        try:
+            points.append(SweepPoint(inputs=(x,), value=func(x)))
+        except Exception as exc:  # noqa: BLE001 -- intentional: recorded
+            if not tolerate_failures:
+                raise
+            points.append(SweepPoint(inputs=(x,), value=None, error=str(exc)))
+    return points
+
+
+def sweep_grid(func: Callable[..., object],
+               grids: dict[str, Iterable[float]],
+               tolerate_failures: bool = False) -> list[SweepPoint]:
+    """Evaluate ``func(**kwargs)`` over the cartesian product of grids.
+
+    Axis order follows the dict insertion order; ``inputs`` in each
+    point are in that same order.
+    """
+    if not grids:
+        raise ParameterError("need at least one sweep axis")
+    names = list(grids)
+    axes = [np.asarray(list(g), dtype=float) for g in grids.values()]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    flat = np.stack([m.ravel() for m in mesh], axis=-1)
+    points: list[SweepPoint] = []
+    for row in flat:
+        kwargs = {name: float(v) for name, v in zip(names, row)}
+        try:
+            points.append(SweepPoint(inputs=tuple(row.tolist()),
+                                     value=func(**kwargs)))
+        except Exception as exc:  # noqa: BLE001 -- intentional: recorded
+            if not tolerate_failures:
+                raise
+            points.append(SweepPoint(inputs=tuple(row.tolist()), value=None,
+                                     error=str(exc)))
+    return points
+
+
+def successful_values(points: list[SweepPoint]) -> list[object]:
+    """Values of the successful points, in sweep order."""
+    return [p.value for p in points if p.ok]

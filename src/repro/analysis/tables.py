@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment output.
+
+The experiments print paper-style tables to stdout; this module keeps
+the formatting in one place (column alignment, significant digits,
+engineering notation via :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ParameterError
+
+
+def format_sig(value: float, digits: int = 3) -> str:
+    """Format a float to ``digits`` significant figures.
+
+    >>> format_sig(1234.5)
+    '1230'
+    >>> format_sig(0.00123)
+    '0.00123'
+    """
+    if value == 0.0:
+        return "0"
+    if math.isnan(value) or math.isinf(value):
+        return str(value)
+    magnitude = math.floor(math.log10(abs(value)))
+    if -4 <= magnitude < digits + 2:
+        decimals = digits - 1 - magnitude
+        if decimals >= 0:
+            return f"{value:.{decimals}f}"
+        rounded = round(value, decimals)
+        return f"{rounded:.0f}"
+    return f"{value:.{digits - 1}e}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table.
+
+    Cells may be strings or numbers; numbers are formatted to three
+    significant figures.
+    """
+    if not headers:
+        raise ParameterError("table needs headers")
+    text_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        text_rows.append([
+            cell if isinstance(cell, str) else format_sig(float(cell))
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""The paper's Eq. 3 — analytic subthreshold inverter VTC.
+
+Equating the weak-inversion currents of the NFET and PFET (Eq. 3a) and
+solving for the input voltage gives Eq. 3(b); with matched devices
+(``I_0N = I_0P``, ``V_thN = V_thP``, ``m_N = m_P``) it collapses to the
+paper's Eq. 3(c):
+
+``V_in = V_dd/2 + (m v_T / 2) ln[(1 - e^{(V_out - V_dd)/v_T}) /
+                                 (1 - e^{-V_out/v_T})]``
+
+These expressions make the role of the slope factor (and hence S_S) in
+the transfer characteristic explicit — the analytical backbone of the
+paper's SNM discussion.  The functions here evaluate Eq. 3(b)/(c) and
+derive closed-form gain and noise-margin approximations, which the test
+suite validates against the full numerical VTC in the subthreshold
+regime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import T_ROOM, thermal_voltage
+from ..errors import ParameterError
+from .inverter import Inverter
+
+
+def vin_of_vout_matched(vout: float | np.ndarray, vdd: float, m: float,
+                        temperature_k: float = T_ROOM) -> float | np.ndarray:
+    """Eq. 3(c): the matched-inverter input for a given output [V].
+
+    Valid strictly inside the rails (the log diverges at 0 and V_dd,
+    exactly as the true VTC saturates).
+    """
+    if vdd <= 0.0:
+        raise ParameterError("vdd must be positive")
+    if m < 1.0:
+        raise ParameterError("slope factor must be >= 1")
+    vt = thermal_voltage(temperature_k)
+    v = np.asarray(vout, dtype=float)
+    if np.any(v <= 0.0) or np.any(v >= vdd):
+        raise ParameterError("vout must lie strictly inside (0, vdd)")
+    ratio = (1.0 - np.exp((v - vdd) / vt)) / (1.0 - np.exp(-v / vt))
+    out = vdd / 2.0 + (m * vt / 2.0) * np.log(ratio)
+    return float(out) if np.isscalar(vout) else out
+
+
+def vin_of_vout_general(vout: float, vdd: float, m_n: float, m_p: float,
+                        vth_n: float, vth_p: float, i0_n: float, i0_p: float,
+                        temperature_k: float = T_ROOM) -> float:
+    """Eq. 3(b): the general (mismatched) subthreshold VTC inverse [V]."""
+    if min(i0_n, i0_p) <= 0.0:
+        raise ParameterError("I_0 prefactors must be positive")
+    if min(m_n, m_p) < 1.0:
+        raise ParameterError("slope factors must be >= 1")
+    vt = thermal_voltage(temperature_k)
+    if not 0.0 < vout < vdd:
+        raise ParameterError("vout must lie strictly inside (0, vdd)")
+    log_term = math.log(
+        (i0_p / i0_n)
+        * (1.0 - math.exp((vout - vdd) / vt))
+        / (1.0 - math.exp(-vout / vt))
+    )
+    numerator = (m_n * (vdd - vth_p) + m_p * vth_n
+                 + m_n * m_p * vt * log_term)
+    return numerator / (m_n + m_p)
+
+
+def switching_threshold_matched(vdd: float) -> float:
+    """Matched Eq. 3(c) trip point: exactly V_dd/2 by symmetry."""
+    if vdd <= 0.0:
+        raise ParameterError("vdd must be positive")
+    return vdd / 2.0
+
+
+def max_gain_matched(vdd: float, m: float,
+                     temperature_k: float = T_ROOM) -> float:
+    """Peak small-signal gain magnitude of the Eq. 3(c) VTC.
+
+    Differentiating Eq. 3(c) at ``V_out = V_dd/2`` gives
+    ``|A_max| = (2/(m v_T)) * (1/(e^{-V_dd/(2 v_T)} ... ))``; for
+    ``V_dd >> v_T`` it approaches ``V_dd ... `` — evaluated here
+    numerically from the closed form for exactness.
+    """
+    vt = thermal_voltage(temperature_k)
+    h = 1e-6 * vdd
+    mid = vdd / 2.0
+    dvin = (vin_of_vout_matched(mid + h, vdd, m, temperature_k)
+            - vin_of_vout_matched(mid - h, vdd, m, temperature_k))
+    dvout = 2.0 * h
+    slope_inv = dvin / dvout       # dV_in/dV_out at the trip point (<0)
+    return abs(1.0 / slope_inv)
+
+
+@dataclass(frozen=True)
+class AnalyticSnm:
+    """Noise margins from the Eq. 3(c) characteristic."""
+
+    v_il: float
+    v_ih: float
+    snm: float
+
+
+def analytic_snm_matched(vdd: float, m: float,
+                         temperature_k: float = T_ROOM,
+                         n_grid: int = 4001) -> AnalyticSnm:
+    """Gain = -1 noise margins of the Eq. 3(c) VTC.
+
+    Uses the closed-form inverse characteristic on a dense V_out grid;
+    by symmetry ``NM_L = NM_H``, so the SNM is either margin.
+    """
+    vout = np.linspace(1e-4 * vdd, vdd * (1.0 - 1e-4), n_grid)
+    vin = vin_of_vout_matched(vout, vdd, m, temperature_k)
+    # Gain = dVout/dVin; find |gain| = 1 crossings on the grid.
+    dvin = np.gradient(vin, vout)          # dV_in/dV_out
+    gain = 1.0 / dvin                      # negative through the middle
+    below = gain < -1.0
+    if not below.any():
+        raise ParameterError("no regeneration: V_dd too low for Eq. 3(c)")
+    first = int(np.argmax(below))
+    last = int(len(below) - 1 - np.argmax(below[::-1]))
+    if first == 0 or last == len(vout) - 1:
+        raise ParameterError("gain = -1 point at the rail; widen the grid")
+    # The VTC is decreasing: the low-V_out end of the transition is the
+    # high-V_in unity-gain point and vice versa.
+    v_ih = float(vin[first])
+    v_ol = float(vout[first])
+    v_il = float(vin[last])
+    v_oh = float(vout[last])
+    nm_high = v_oh - v_ih
+    nm_low = v_il - v_ol
+    return AnalyticSnm(v_il=v_il, v_ih=v_ih, snm=min(nm_low, nm_high))
+
+
+def compare_with_numeric(inverter: Inverter, n_points: int = 41
+                         ) -> dict[str, float]:
+    """Worst-case deviation between Eq. 3(c) and the numerical VTC.
+
+    The comparison is made in the *input-voltage* domain (the VTC's
+    gain would amplify any output-domain metric by 10-100x near the
+    trip point): sample the numerical VTC, feed each output back
+    through the closed-form inverse, and record the worst V_in
+    disagreement.  Uses the NFET's slope factor for ``m`` (matched
+    assumption); small in deep subthreshold, where Eq. 3 is derived.
+    """
+    vdd = inverter.vdd
+    m = inverter.nfet.slope_factor
+    vins = np.linspace(0.02 * vdd, 0.98 * vdd, n_points)
+    worst = 0.0
+    for vin in vins:
+        numeric_vout = inverter.vtc_point(float(vin))
+        if not 1e-4 * vdd < numeric_vout < (1.0 - 1e-4) * vdd:
+            continue   # rail-saturated: the log form diverges there
+        analytic_vin = vin_of_vout_matched(numeric_vout, vdd, m,
+                                           inverter.nfet.temperature_k)
+        worst = max(worst, abs(analytic_vin - float(vin)))
+    return {"max_vin_deviation_v": worst, "vdd": vdd, "m": m}

@@ -1,0 +1,156 @@
+"""Standard-cell characterisation (liberty-lite).
+
+A downstream adopter of a technology runs cell characterisation: for
+each gate, a table of delay and energy versus output load and supply.
+This module produces exactly that for the INV/NAND2/NOR2 set built
+from a design's device pair — the data from which synthesis-style
+timing/power estimates are made — and renders it as a compact text
+library, so the scaling strategies can be compared at the level a
+digital flow actually consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.tables import format_sig, render_table
+from ..errors import ParameterError
+from ..scaling.strategy import DeviceDesign
+from .delay import K_D_DEFAULT, analytic_delay
+from .gates import EquivalentGate, nand2, nor2
+from .inverter import Inverter
+
+#: Output loads characterised, as multiples of the cell's input cap.
+LOAD_GRID: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Characterisation of one cell at one supply.
+
+    Attributes
+    ----------
+    name:
+        Cell name ("inv", "nand2", "nor2").
+    vdd:
+        Characterised supply [V].
+    input_cap_f:
+        Cell input capacitance [F].
+    loads_f / delays_s:
+        Load grid and matching propagation delays.
+    switch_energy_j:
+        Internal + load switching energy at the unit load [J].
+    leakage_w:
+        Standby leakage power [W].
+    """
+
+    name: str
+    vdd: float
+    input_cap_f: float
+    loads_f: tuple[float, ...]
+    delays_s: tuple[float, ...]
+    switch_energy_j: float
+    leakage_w: float
+
+    def delay_at(self, load_f: float) -> float:
+        """Interpolated delay at an arbitrary load [s]."""
+        loads = np.asarray(self.loads_f)
+        delays = np.asarray(self.delays_s)
+        if not loads.min() <= load_f <= loads.max():
+            raise ParameterError("load outside the characterised range")
+        return float(np.interp(load_f, loads, delays))
+
+    @property
+    def drive_resistance_ohm(self) -> float:
+        """Effective linear drive resistance (delay-vs-load slope)."""
+        loads = np.asarray(self.loads_f)
+        delays = np.asarray(self.delays_s)
+        slope = np.polyfit(loads, delays, 1)[0]
+        return float(slope / 0.69)
+
+
+def _characterise_inverter_like(name: str, inverter: Inverter,
+                                effort: float, leakage_paths: int,
+                                k_d: float) -> CellTiming:
+    c_in = inverter.input_capacitance() * effort
+    c_self = inverter.output_capacitance()
+    loads = tuple(mult * c_in for mult in LOAD_GRID)
+    delays = tuple(
+        analytic_delay(inverter, c_self + load, k_d) for load in loads
+    )
+    vdd = inverter.vdd
+    energy = (c_self + loads[0]) * vdd ** 2
+    leakage = leakage_paths * inverter.leakage_current() * vdd
+    return CellTiming(
+        name=name, vdd=vdd, input_cap_f=c_in, loads_f=loads,
+        delays_s=delays, switch_energy_j=energy, leakage_w=leakage,
+    )
+
+
+def characterise_cell(gate: EquivalentGate | Inverter, name: str,
+                      k_d: float = K_D_DEFAULT) -> CellTiming:
+    """Characterise one cell (an Inverter or an EquivalentGate)."""
+    if isinstance(gate, Inverter):
+        return _characterise_inverter_like(name, gate, 1.0, 1, k_d)
+    return _characterise_inverter_like(
+        name, gate.inverter, gate.logical_effort, gate.leakage_inputs, k_d
+    )
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """A characterised cell set for one design/supply point."""
+
+    label: str
+    vdd: float
+    cells: tuple[CellTiming, ...] = field(default_factory=tuple)
+
+    def cell(self, name: str) -> CellTiming:
+        """Look up one cell by name."""
+        for c in self.cells:
+            if c.name == name:
+                return c
+        known = ", ".join(c.name for c in self.cells)
+        raise ParameterError(f"no cell {name!r}; have: {known}")
+
+    def render(self) -> str:
+        """Compact text library (one row per cell)."""
+        rows = []
+        for c in self.cells:
+            rows.append((
+                c.name,
+                format_sig(c.input_cap_f * 1e15),
+                format_sig(c.delays_s[0] * 1e9),
+                format_sig(c.delays_s[-1] * 1e9),
+                format_sig(c.switch_energy_j * 1e15),
+                format_sig(c.leakage_w * 1e12),
+            ))
+        return render_table(
+            ("cell", "Cin fF", "t_p@FO1 ns", f"t_p@FO{LOAD_GRID[-1]:.0f} ns",
+             "E_sw fJ", "P_leak pW"),
+            rows,
+            title=f"* cell library: {self.label} @ {self.vdd:.2f} V",
+        )
+
+
+def characterise_design(design: DeviceDesign, vdd: float | None = None,
+                        k_d: float = K_D_DEFAULT) -> CellLibrary:
+    """Characterise the INV/NAND2/NOR2 set of one strategy design.
+
+    >>> # used by examples and the strategy-comparison tests
+    """
+    supply = design.vdd if vdd is None else vdd
+    if supply <= 0.0:
+        raise ParameterError("supply must be positive")
+    inv = design.inverter(supply)
+    cells = (
+        characterise_cell(inv, "inv", k_d),
+        characterise_cell(nand2(design.nfet, design.pfet, supply), "nand2",
+                          k_d),
+        characterise_cell(nor2(design.nfet, design.pfet, supply), "nor2",
+                          k_d),
+    )
+    label = f"{design.strategy}/{design.node.name}"
+    return CellLibrary(label=label, vdd=supply, cells=cells)

@@ -1,0 +1,81 @@
+"""Gate delay: the paper's analytic Eq. 4/5 and the simulated FO1 delay.
+
+``t_p = k_d C_L V_dd / I_on`` (Eq. 4) with the fitting parameter
+``k_d``; the "simulated" delay of Figs. 5 and 11 is reproduced by the
+transient engine in :mod:`repro.circuit.transient` with an FO1 load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .inverter import Inverter
+from .transient import propagation_delay
+
+#: Default delay fitting parameter (ln 2 for a single-pole RC stage).
+K_D_DEFAULT: float = 0.69
+
+
+@dataclass(frozen=True)
+class DelayResult:
+    """FO1 delay of an inverter at one supply point.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage [V].
+    c_load_f:
+        The FO1 load used [F].
+    analytic_s:
+        ``k_d C_L V_dd / I_on`` estimate [s].
+    transient_s:
+        50 %-crossing transient delay [s]; ``None`` when only the
+        analytic value was requested.
+    """
+
+    vdd: float
+    c_load_f: float
+    analytic_s: float
+    transient_s: float | None = None
+
+    @property
+    def best(self) -> float:
+        """Transient delay when available, else the analytic estimate."""
+        return self.analytic_s if self.transient_s is None else self.transient_s
+
+
+def analytic_delay(inverter: Inverter, c_load_f: float | None = None,
+                   k_d: float = K_D_DEFAULT) -> float:
+    """Eq. 4 delay ``k_d C_L V_dd / I_on`` [s].
+
+    ``I_on`` is the average of the NFET and PFET on-currents — the two
+    transitions are driven by different devices and the paper's ``k_d``
+    absorbs the residual asymmetry.
+    """
+    if k_d <= 0.0:
+        raise ParameterError("k_d must be positive")
+    c_load = inverter.load_capacitance(fanout=1) if c_load_f is None else c_load_f
+    if c_load <= 0.0:
+        raise ParameterError("load capacitance must be positive")
+    vdd = inverter.vdd
+    i_on = 0.5 * (inverter.nfet.i_on(vdd) + inverter.pfet.i_on(vdd))
+    if i_on <= 0.0:
+        raise ParameterError("inverter has no on-current")
+    return k_d * c_load * vdd / i_on
+
+
+def fo1_delay(inverter: Inverter, transient: bool = True,
+              k_d: float = K_D_DEFAULT, rtol: float = 1e-6) -> DelayResult:
+    """FO1 (fanout-of-one) inverter delay, the paper's Fig. 5/11 metric."""
+    c_load = inverter.load_capacitance(fanout=1)
+    result = DelayResult(
+        vdd=inverter.vdd,
+        c_load_f=c_load,
+        analytic_s=analytic_delay(inverter, c_load, k_d),
+    )
+    if not transient:
+        return result
+    t_sim = propagation_delay(inverter, c_load, rtol=rtol)
+    return DelayResult(vdd=result.vdd, c_load_f=c_load,
+                       analytic_s=result.analytic_s, transient_s=t_sim)

@@ -1,0 +1,85 @@
+"""Equivalent-inverter reduction of simple static gates (extension).
+
+NAND/NOR delay and leakage in the sub-V_th regime follow from the
+inverter analysis once series stacks are reduced to equivalent devices:
+``k`` series transistors behave (to first order) like one transistor of
+``1/k`` the drive, while parallel transistors add leakage.  This module
+provides that standard reduction so examples can explore multi-input
+logic without a full netlist simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.mosfet import MOSFET
+from ..errors import ParameterError
+from .delay import K_D_DEFAULT, analytic_delay
+from .inverter import Inverter
+
+
+@dataclass(frozen=True)
+class EquivalentGate:
+    """A static CMOS gate reduced to an equivalent inverter.
+
+    Attributes
+    ----------
+    name:
+        Gate label ("nand2", "nor2", ...).
+    inverter:
+        The equivalent inverter used for delay estimation.
+    n_inputs:
+        Fan-in of the original gate.
+    logical_effort:
+        Input-capacitance multiplier relative to an inverter of equal
+        drive (standard logical-effort g).
+    leakage_inputs:
+        Worst-case number of leaking parallel devices.
+    """
+
+    name: str
+    inverter: Inverter
+    n_inputs: int
+    logical_effort: float
+    leakage_inputs: int
+
+    def delay(self, fanout: int = 1, k_d: float = K_D_DEFAULT) -> float:
+        """FO-``fanout`` analytic delay [s], load scaled by logical effort."""
+        if fanout < 1:
+            raise ParameterError("fanout must be >= 1")
+        c_unit = self.inverter.input_capacitance() * self.logical_effort
+        c_load = fanout * c_unit + self.inverter.output_capacitance()
+        return analytic_delay(self.inverter, c_load, k_d)
+
+    def worst_case_leakage(self) -> float:
+        """Worst-case standby leakage [A] (all parallel devices off)."""
+        vdd = self.inverter.vdd
+        n_leak = self.inverter.nfet.i_off(vdd) * self.leakage_inputs
+        p_leak = self.inverter.pfet.i_off(vdd) * self.leakage_inputs
+        return max(n_leak, p_leak)
+
+
+def _series_device(device: MOSFET, k: int) -> MOSFET:
+    """Equivalent single device for a ``k``-stack: width divided by k."""
+    if k < 1:
+        raise ParameterError("stack depth must be >= 1")
+    width_um = device.geometry.width_um / k
+    return device.with_width_um(width_um)
+
+
+def nand2(nfet_unit: MOSFET, pfet_unit: MOSFET, vdd: float) -> EquivalentGate:
+    """2-input NAND reduced to an equivalent inverter.
+
+    The series NFET stack halves pull-down drive; the parallel PFETs
+    keep pull-up drive but double P leakage paths.
+    """
+    eq = Inverter(nfet=_series_device(nfet_unit, 2), pfet=pfet_unit, vdd=vdd)
+    return EquivalentGate(name="nand2", inverter=eq, n_inputs=2,
+                          logical_effort=4.0 / 3.0, leakage_inputs=2)
+
+
+def nor2(nfet_unit: MOSFET, pfet_unit: MOSFET, vdd: float) -> EquivalentGate:
+    """2-input NOR reduced to an equivalent inverter."""
+    eq = Inverter(nfet=nfet_unit, pfet=_series_device(pfet_unit, 2), vdd=vdd)
+    return EquivalentGate(name="nor2", inverter=eq, n_inputs=2,
+                          logical_effort=5.0 / 3.0, leakage_inputs=2)

@@ -1,0 +1,64 @@
+"""Ring-oscillator extension.
+
+Sub-V_th silicon results (the paper's refs [1][2]) are usually
+characterised by ring-oscillator frequency; this small extension maps
+the FO1 stage delay to an N-stage RO frequency so examples can report
+kHz/MHz-class numbers comparable to the papers the introduction cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .delay import K_D_DEFAULT, analytic_delay
+from .inverter import Inverter
+from .transient import propagation_delay
+
+
+@dataclass(frozen=True)
+class RingOscillator:
+    """An odd-stage inverter ring oscillator.
+
+    Parameters
+    ----------
+    stage:
+        The unit inverter.
+    n_stages:
+        Odd number of stages (>= 3).
+    """
+
+    stage: Inverter
+    n_stages: int = 31
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 3 or self.n_stages % 2 == 0:
+            raise ParameterError("ring oscillator needs an odd stage count >= 3")
+
+    def stage_delay(self, transient: bool = False,
+                    k_d: float = K_D_DEFAULT) -> float:
+        """Per-stage FO1 delay [s]."""
+        c_load = self.stage.load_capacitance(fanout=1)
+        if transient:
+            return propagation_delay(self.stage, c_load)
+        return analytic_delay(self.stage, c_load, k_d)
+
+    def frequency_hz(self, transient: bool = False,
+                     k_d: float = K_D_DEFAULT) -> float:
+        """Oscillation frequency ``1 / (2 N t_p)`` [Hz]."""
+        return 1.0 / (2.0 * self.n_stages * self.stage_delay(transient, k_d))
+
+    def power_w(self, activity: float = 1.0) -> float:
+        """Mean switching + leakage power while oscillating [W].
+
+        Every node toggles once per half period, so the effective
+        activity of a free-running ring is 1.
+        """
+        if not 0.0 < activity <= 1.0:
+            raise ParameterError("activity must be in (0, 1]")
+        vdd = self.stage.vdd
+        c_load = self.stage.load_capacitance(fanout=1)
+        freq = self.frequency_hz()
+        dynamic = self.n_stages * activity * c_load * vdd ** 2 * freq
+        leakage = self.n_stages * self.stage.leakage_current() * vdd
+        return dynamic + leakage

@@ -1,0 +1,116 @@
+"""Interconnect: node-scaled wire capacitance and resistance.
+
+Generalized scaling (the paper's Table 1) shrinks wire cross-sections
+with `1/alpha` like every other physical dimension, which keeps the
+capacitance *per unit length* roughly constant (width shrinks, but so
+does spacing) while resistance per unit length grows as `alpha^2`.
+This module provides a per-node local-wire model so circuit studies
+can include realistic interconnect load — which matters for sub-V_th
+energy because wire capacitance does not enjoy the weak-inversion
+collapse that gate capacitance does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..scaling.roadmap import NodeSpec
+
+#: Local-wire capacitance per µm at the 90nm node [F/µm] — the classic
+#: ~0.2 fF/µm for minimum-pitch metal.
+C_WIRE_90NM_F_PER_UM: float = 0.2e-15
+#: Local-wire resistance per µm at the 90nm node [ohm/µm].
+R_WIRE_90NM_OHM_PER_UM: float = 1.0
+#: Wire cap stays ~constant per unit length with scaling (width and
+#: spacing shrink together); resistance grows as the inverse square of
+#: the dimension factor.
+DIMENSION_FACTOR_PER_GEN: float = 0.7
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Local-interconnect model for one technology node.
+
+    Attributes
+    ----------
+    c_per_um:
+        Capacitance per µm of wire [F/µm].
+    r_per_um:
+        Resistance per µm of wire [ohm/µm].
+    node_name:
+        The node this model belongs to.
+    """
+
+    c_per_um: float
+    r_per_um: float
+    node_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.c_per_um <= 0.0 or self.r_per_um <= 0.0:
+            raise ParameterError("wire parameters must be positive")
+
+    @classmethod
+    def for_node(cls, node: NodeSpec) -> "WireModel":
+        """Wire model scaled from the 90nm reference to ``node``."""
+        gens = node.generation
+        shrink = DIMENSION_FACTOR_PER_GEN ** gens
+        return cls(
+            c_per_um=C_WIRE_90NM_F_PER_UM,          # ~constant per length
+            r_per_um=R_WIRE_90NM_OHM_PER_UM / shrink ** 2,
+            node_name=node.name,
+        )
+
+    def capacitance(self, length_um: float) -> float:
+        """Total capacitance of a wire [F]."""
+        if length_um < 0.0:
+            raise ParameterError("length must be >= 0")
+        return self.c_per_um * length_um
+
+    def resistance(self, length_um: float) -> float:
+        """Total resistance of a wire [ohm]."""
+        if length_um < 0.0:
+            raise ParameterError("length must be >= 0")
+        return self.r_per_um * length_um
+
+    def elmore_delay(self, length_um: float, c_load_f: float = 0.0) -> float:
+        """Distributed-RC Elmore delay of the wire [s].
+
+        ``0.5 R_w C_w + R_w C_load`` — the standard first moment.
+        """
+        r_w = self.resistance(length_um)
+        c_w = self.capacitance(length_um)
+        if c_load_f < 0.0:
+            raise ParameterError("load capacitance must be >= 0")
+        return 0.5 * r_w * c_w + r_w * c_load_f
+
+    def rc_negligible_below_um(self, gate_delay_s: float,
+                               c_load_f: float = 0.0,
+                               fraction: float = 0.1) -> float:
+        """Longest wire whose Elmore delay stays below ``fraction`` of a
+        gate delay — in sub-V_th circuits this is enormous (gates are
+        slow, wires are not), which is why the paper can ignore wire
+        *delay* while wire *capacitance* still costs energy."""
+        if gate_delay_s <= 0.0:
+            raise ParameterError("gate delay must be positive")
+        if not 0.0 < fraction < 1.0:
+            raise ParameterError("fraction must be in (0, 1)")
+        budget = fraction * gate_delay_s
+        # Solve 0.5 r c L^2 + r C_load L = budget for L (per-um r, c).
+        a = 0.5 * self.r_per_um * self.c_per_um
+        b = self.r_per_um * c_load_f
+        disc = b * b + 4.0 * a * budget
+        return (-b + disc ** 0.5) / (2.0 * a)
+
+
+def wire_energy_per_transition(model: WireModel, length_um: float,
+                               vdd: float) -> float:
+    """Switching energy of a wire [J]: ``C_w V_dd^2`` per full cycle.
+
+    Wire capacitance sees the full supply swing and no weak-inversion
+    relief, so at scaled nodes it becomes a growing share of sub-V_th
+    energy.
+    """
+    if vdd <= 0.0:
+        raise ParameterError("vdd must be positive")
+    return model.capacitance(length_um) * vdd ** 2

@@ -1,0 +1,107 @@
+"""Command-line interface: run reproduced experiments.
+
+Usage::
+
+    repro list                 # show all experiments
+    repro run fig4             # run one experiment, print its report
+    repro run all              # run everything (slow but complete)
+    python -m repro run table2 # module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import list_experiments, run_experiment
+
+
+def _cmd_list() -> int:
+    for experiment_id, title in list_experiments():
+        print(f"{experiment_id:20s} {title}")
+    return 0
+
+
+def _cmd_run(target: str, plot: bool = False) -> int:
+    ids = ([eid for eid, _t in list_experiments()] if target == "all"
+           else [target])
+    failures = 0
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        if plot and result.series:
+            from .analysis.plotting import render_ascii_chart
+            # Chart series that share a y-label together.
+            by_axis: dict[str, list] = {}
+            for s in result.series:
+                by_axis.setdefault(s.y_label, []).append(s)
+            for y_label, group in by_axis.items():
+                print(f"\n[{y_label}]")
+                print(render_ascii_chart(group))
+        print(f"-- completed in {elapsed:.1f}s --\n")
+        if not result.all_hold():
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had claims that did not hold")
+    return 1 if failures else 0
+
+
+def _family(strategy: str):
+    from .experiments.families import sub_vth_family, super_vth_family
+    if strategy == "super-vth":
+        return super_vth_family()
+    if strategy == "sub-vth":
+        return sub_vth_family()
+    raise SystemExit(f"unknown strategy {strategy!r} "
+                     "(choose super-vth or sub-vth)")
+
+
+def _cmd_cards(strategy: str) -> int:
+    from .scaling.compact_card import family_card_table
+    print(family_card_table(_family(strategy)))
+    return 0
+
+
+def _cmd_save_family(strategy: str, path: str) -> int:
+    from .io import family_to_dict, save_json
+    family = _family(strategy)
+    save_json(family_to_dict(family), path)
+    print(f"wrote {strategy} family ({len(family.designs)} nodes) to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Nanometer Device Scaling in "
+                    "Subthreshold Circuits' (DAC 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id or 'all'")
+    run_parser.add_argument("--plot", action="store_true",
+                            help="render ASCII charts of the series")
+    cards_parser = sub.add_parser(
+        "cards", help="print a strategy family's model cards")
+    cards_parser.add_argument("strategy", help="super-vth or sub-vth")
+    save_parser = sub.add_parser(
+        "save-family", help="optimise a strategy family and save it as JSON")
+    save_parser.add_argument("strategy", help="super-vth or sub-vth")
+    save_parser.add_argument("path", help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "cards":
+        return _cmd_cards(args.strategy)
+    if args.command == "save-family":
+        return _cmd_save_family(args.strategy, args.path)
+    return _cmd_run(args.experiment, plot=args.plot)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

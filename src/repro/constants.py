@@ -1,0 +1,108 @@
+"""Physical constants used throughout the library.
+
+All quantities are expressed in a centimetre-gram-second-derived unit
+system that is conventional in device physics:
+
+* lengths in centimetres (``cm``),
+* capacitances per area in ``F/cm^2``,
+* doping concentrations in ``cm^-3``,
+* currents in amperes, voltages in volts, temperatures in kelvin.
+
+Helper converters for the nanometre-scale inputs used by the paper
+(``nm_to_cm`` and friends) live here as well so that modules never
+hand-roll the factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants -------------------------------------------------
+
+#: Elementary charge [C].
+Q: float = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+K_B: float = 1.380649e-23
+
+#: Vacuum permittivity [F/cm].
+EPS_0: float = 8.8541878128e-14
+
+#: Relative permittivity of silicon.
+EPS_SI_REL: float = 11.7
+
+#: Relative permittivity of thermal SiO2.
+EPS_OX_REL: float = 3.9
+
+#: Permittivity of silicon [F/cm].
+EPS_SI: float = EPS_SI_REL * EPS_0
+
+#: Permittivity of SiO2 [F/cm].
+EPS_OX: float = EPS_OX_REL * EPS_0
+
+#: Default lattice temperature [K].
+T_ROOM: float = 300.0
+
+#: Intrinsic carrier concentration of silicon at 300 K [cm^-3].
+#: The classic device-physics value (Taur & Ning) rather than the more
+#: recent 9.65e9 refinement; the paper's generation of TCAD tools used it.
+NI_300K: float = 1.0e10
+
+#: Silicon bandgap at 0 K [eV] (Varshni fit).
+EG_0K: float = 1.170
+#: Varshni alpha [eV/K].
+VARSHNI_ALPHA: float = 4.73e-4
+#: Varshni beta [K].
+VARSHNI_BETA: float = 636.0
+
+#: Effective density of states, conduction band, at 300 K [cm^-3].
+NC_300K: float = 2.8e19
+#: Effective density of states, valence band, at 300 K [cm^-3].
+NV_300K: float = 1.04e19
+
+#: Saturation velocity of electrons in silicon [cm/s].
+VSAT_ELECTRON: float = 1.0e7
+#: Saturation velocity of holes in silicon [cm/s].
+VSAT_HOLE: float = 8.0e6
+
+#: ln(10); the factor between natural and decadic slopes.
+LN10: float = math.log(10.0)
+
+
+def thermal_voltage(temperature_k: float = T_ROOM) -> float:
+    """Return the thermal voltage ``kT/q`` in volts.
+
+    >>> round(thermal_voltage(300.0), 5)
+    0.02585
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k!r}")
+    return K_B * temperature_k / Q
+
+
+# --- unit conversions -------------------------------------------------------
+
+#: Centimetres per nanometre.
+CM_PER_NM: float = 1.0e-7
+#: Centimetres per micrometre.
+CM_PER_UM: float = 1.0e-4
+
+
+def nm_to_cm(value_nm: float) -> float:
+    """Convert nanometres to centimetres."""
+    return value_nm * CM_PER_NM
+
+
+def cm_to_nm(value_cm: float) -> float:
+    """Convert centimetres to nanometres."""
+    return value_cm / CM_PER_NM
+
+
+def um_to_cm(value_um: float) -> float:
+    """Convert micrometres to centimetres."""
+    return value_um * CM_PER_UM
+
+
+def cm_to_um(value_cm: float) -> float:
+    """Convert centimetres to micrometres."""
+    return value_cm / CM_PER_UM

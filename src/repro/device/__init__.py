@@ -1,0 +1,58 @@
+"""Device layer: geometry, doping, electrostatics, and compact I-V models.
+
+The classes here form the paper's "device model" (Section 2.2): a bulk
+MOSFET described by four scaling parameters — physical gate length
+``L_poly``, oxide thickness ``T_ox``, substrate doping ``N_sub`` and
+peak halo doping ``N_p,halo`` — plus the supply voltage ``V_dd``.
+"""
+
+from .geometry import DeviceGeometry
+from .doping import DopingProfile, HaloImplant
+from .electrostatics import (
+    depletion_width,
+    body_factor,
+    slope_factor,
+    flatband_voltage,
+)
+from .threshold import (
+    vth_long_channel,
+    characteristic_length,
+    delta_vth_sce,
+    ThresholdModel,
+)
+from .subthreshold import (
+    inverse_subthreshold_slope,
+    subthreshold_current,
+    on_off_ratio,
+)
+from .capacitance import CapacitanceModel
+from .iv import IVModel
+from .mosfet import MOSFET, Polarity, nfet, pfet
+from .corners import Corner, CornerSpec, at_corner, corner_report
+
+__all__ = [
+    "DeviceGeometry",
+    "DopingProfile",
+    "HaloImplant",
+    "depletion_width",
+    "body_factor",
+    "slope_factor",
+    "flatband_voltage",
+    "vth_long_channel",
+    "characteristic_length",
+    "delta_vth_sce",
+    "ThresholdModel",
+    "inverse_subthreshold_slope",
+    "subthreshold_current",
+    "on_off_ratio",
+    "CapacitanceModel",
+    "IVModel",
+    "MOSFET",
+    "Polarity",
+    "nfet",
+    "pfet",
+    "Corner",
+    "CornerSpec",
+    "at_corner",
+    "corner_report",
+]

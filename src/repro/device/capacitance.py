@@ -1,0 +1,145 @@
+"""Gate and parasitic capacitances.
+
+``C_g`` in the paper's intrinsic-delay metric ``tau = C_g V_dd / I_on``
+"includes gate/drain-source overlap"; the circuit-level load ``C_L``
+additionally includes fringe and drain-junction components.  All
+formulas are the standard compact-model ones; the important property
+for the reproduction is how each term scales with ``L_poly``, ``T_ox``
+and doping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import EPS_OX, EPS_SI, Q, T_ROOM
+from ..errors import ParameterError
+from ..materials.oxide import GateStack
+from ..materials.silicon import built_in_potential
+from .doping import DopingProfile
+from .geometry import DeviceGeometry
+from .threshold import N_SOURCE_DRAIN
+
+
+@dataclass(frozen=True)
+class CapacitanceModel:
+    """Capacitances of one device (all results in farads).
+
+    Parameters mirror :class:`~repro.device.threshold.ThresholdModel`;
+    the junction capacitance needs the substrate doping to compute the
+    zero-bias depletion capacitance of the drain diffusion.
+    """
+
+    geometry: DeviceGeometry
+    profile: DopingProfile
+    stack: GateStack
+    temperature_k: float = T_ROOM
+
+    @property
+    def c_ox_per_area(self) -> float:
+        """Areal gate-oxide capacitance [F/cm^2]."""
+        return self.stack.capacitance_per_area
+
+    @property
+    def c_gate_intrinsic(self) -> float:
+        """Intrinsic gate capacitance ``C_ox W L_eff`` [F]."""
+        g = self.geometry
+        return self.c_ox_per_area * g.width_cm * g.l_eff_cm
+
+    @property
+    def c_overlap(self) -> float:
+        """Total (both sides) gate/source-drain overlap capacitance [F]."""
+        g = self.geometry
+        return 2.0 * self.c_ox_per_area * g.width_cm * g.overlap_cm
+
+    @property
+    def c_fringe(self) -> float:
+        """Outer fringe capacitance, both sides [F].
+
+        ``C_f = 2 W (2 eps_ox / pi) ln(1 + t_gate / T_ox)`` — the
+        classic conformal-mapping estimate.
+        """
+        g = self.geometry
+        t_gate = g.gate_height_cm
+        if t_gate <= 0.0:
+            return 0.0
+        return (2.0 * g.width_cm * (2.0 * EPS_OX / math.pi)
+                * math.log(1.0 + t_gate / self.stack.thickness_cm))
+
+    @property
+    def c_gate(self) -> float:
+        """Strong-inversion gate input capacitance [F].
+
+        Intrinsic + overlap + fringe; the right load for nominal-V_dd
+        operation and the paper's ``tau = C_g V_dd/I_on`` metric.
+        """
+        return self.c_gate_intrinsic + self.c_overlap + self.c_fringe
+
+    def c_gate_weak(self, slope_factor: float) -> float:
+        """Weak-inversion (subthreshold) gate input capacitance [F].
+
+        Below threshold the channel never inverts, so the intrinsic
+        component is the series combination of C_ox and the depletion
+        capacitance: ``C_ox (m-1)/m`` per area, a factor ~3-4 smaller
+        than C_ox.  This collapse of the area term — while overlap and
+        fringe survive — is what makes the sub-V_th strategy's longer
+        gates nearly free in switched energy.
+        """
+        if slope_factor <= 1.0:
+            raise ParameterError("slope factor must exceed 1")
+        series = (slope_factor - 1.0) / slope_factor
+        return (self.c_gate_intrinsic * series + self.c_overlap
+                + self.c_fringe)
+
+    def c_gate_effective(self, vdd: float, vth: float, slope_factor: float
+                         ) -> float:
+        """Bias-aware gate capacitance, blending weak and strong limits [F].
+
+        A logistic blend in ``(V_dd - V_th)`` with a few-thermal-voltage
+        transition width; deep subthreshold recovers
+        :meth:`c_gate_weak`, nominal supply recovers :attr:`c_gate`.
+        """
+        if vdd <= 0.0:
+            raise ParameterError("vdd must be positive")
+        vt = 0.02585 * (self.temperature_k / 300.0)
+        width = 3.0 * slope_factor * vt
+        x = (vdd - vth) / width
+        weight = 1.0 / (1.0 + math.exp(-max(min(x, 60.0), -60.0)))
+        weak = self.c_gate_weak(slope_factor)
+        return weak + weight * (self.c_gate - weak)
+
+    def c_junction(self, bias_v: float = 0.0) -> float:
+        """Drain-junction depletion capacitance at the given reverse bias [F].
+
+        Area component over the drain diffusion footprint plus a
+        sidewall component along the width, both from the abrupt
+        one-sided junction formula
+        ``C_j'' = sqrt(q eps_si N_sub / (2 (V_bi + V_R)))``.
+        """
+        if bias_v < 0.0:
+            raise ParameterError("reverse bias must be >= 0")
+        g = self.geometry
+        n_sub = self.profile.n_sub_cm3
+        vbi = built_in_potential(N_SOURCE_DRAIN, n_sub, self.temperature_k)
+        cj_area = math.sqrt(Q * EPS_SI * n_sub / (2.0 * (vbi + bias_v)))
+        area = g.width_cm * g.extension_cm
+        sidewall = g.width_cm * g.junction_depth_cm
+        return cj_area * (area + sidewall)
+
+    def c_drain(self, bias_v: float = 0.0) -> float:
+        """Drain-node self-loading: junction + drain-side overlap/fringe [F]."""
+        return (self.c_junction(bias_v) + 0.5 * self.c_overlap
+                + 0.5 * self.c_fringe)
+
+    def c_load_fanout(self, fanout: int = 1, receiver: "CapacitanceModel | None"
+                      = None, bias_v: float = 0.0) -> float:
+        """Load on the drain node when driving ``fanout`` identical gates [F].
+
+        ``C_L = fanout * C_g(receiver) + C_drain(self)``; the receiver
+        defaults to this device (FO1 self-loading).
+        """
+        if fanout < 0:
+            raise ParameterError("fanout must be >= 0")
+        rx = self if receiver is None else receiver
+        return fanout * rx.c_gate + self.c_drain(bias_v)

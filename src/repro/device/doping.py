@@ -1,0 +1,251 @@
+"""Channel doping profiles: uniform substrate plus 2-D Gaussian halos.
+
+Following the paper (Section 2.2) and refs [3][12] therein, the channel
+doping is modelled as a uniform substrate concentration ``N_sub`` with a
+pair of two-dimensional Gaussian halo implants of peak concentration
+``N_p,halo`` superimposed at the source and drain channel edges.  The
+*net* halo doping quoted in the paper's tables is
+``N_halo = N_sub + N_p,halo``.
+
+Two reductions of the 2-D profile feed the rest of the model:
+
+* :meth:`DopingProfile.effective_channel_doping` — the average doping
+  seen by the channel depletion region for a given effective channel
+  length.  As the channel shortens the two halo Gaussians occupy a
+  growing fraction of the channel, so the effective doping — and with
+  it the threshold voltage — *rolls up*, which is exactly the mechanism
+  a halo exists to provide (it cancels short-channel V_th roll-off).
+* :meth:`DopingProfile.vertical_profile` — a 1-D vertical doping cut
+  used by the numerical Poisson solver in :mod:`repro.tcad`.
+
+Both reductions are exact integrals of the Gaussian model, not fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import ParameterError
+from .geometry import DeviceGeometry
+
+#: Halo lateral straggle as a fraction of the junction depth.
+HALO_SIGMA_X_FRACTION: float = 0.35
+#: Halo vertical straggle as a fraction of the junction depth.
+HALO_SIGMA_Y_FRACTION: float = 0.45
+#: Halo peak depth as a fraction of the junction depth.
+HALO_DEPTH_FRACTION: float = 0.60
+
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+@dataclass(frozen=True)
+class HaloImplant:
+    """One pair of Gaussian halo pockets (lengths in cm, doping in cm^-3).
+
+    The pockets sit at the source- and drain-side channel edges
+    (lateral positions 0 and ``L_eff``), centred at depth ``depth_cm``.
+
+    Parameters
+    ----------
+    peak_cm3:
+        Peak concentration ``N_p,halo`` of each pocket.
+    sigma_x_cm:
+        Lateral (along-channel) Gaussian straggle.
+    sigma_y_cm:
+        Vertical (into-substrate) Gaussian straggle.
+    depth_cm:
+        Depth of the pocket peak below the Si/SiO2 interface.
+    """
+
+    peak_cm3: float
+    sigma_x_cm: float
+    sigma_y_cm: float
+    depth_cm: float
+
+    def __post_init__(self) -> None:
+        if self.peak_cm3 < 0.0:
+            raise ParameterError(f"halo peak must be >= 0, got {self.peak_cm3}")
+        if self.sigma_x_cm <= 0.0 or self.sigma_y_cm <= 0.0:
+            raise ParameterError("halo straggles must be positive")
+        if self.depth_cm < 0.0:
+            raise ParameterError("halo depth must be >= 0")
+
+    @classmethod
+    def for_geometry(cls, geometry: DeviceGeometry, peak_cm3: float
+                     ) -> "HaloImplant":
+        """Halo pockets sized from the geometry's junction depth."""
+        xj = geometry.junction_depth_cm
+        if xj <= 0.0:
+            raise ParameterError(
+                "geometry has no junction depth; build it with "
+                "DeviceGeometry.proportional() or set junction_depth_cm"
+            )
+        return cls(
+            peak_cm3=peak_cm3,
+            sigma_x_cm=HALO_SIGMA_X_FRACTION * xj,
+            sigma_y_cm=HALO_SIGMA_Y_FRACTION * xj,
+            depth_cm=HALO_DEPTH_FRACTION * xj,
+        )
+
+    def lateral_average(self, l_eff_cm: float) -> float:
+        """Average lateral halo weight over the channel [dimensionless * peak].
+
+        The two pockets contribute
+        ``(peak / L) * integral_0^L [exp(-x^2/2s^2) + exp(-(x-L)^2/2s^2)] dx``
+        which evaluates to ``peak * sqrt(2*pi) * s * erf(L/(sqrt(2)*s)) / L``.
+        As ``L -> 0`` this tends to ``2 * peak`` (fully merged pockets);
+        as ``L -> inf`` it tends to zero.
+        """
+        if l_eff_cm <= 0.0:
+            raise ParameterError("channel length must be positive")
+        s = self.sigma_x_cm
+        return (self.peak_cm3 * _SQRT_2PI * s
+                * math.erf(l_eff_cm / (math.sqrt(2.0) * s)) / l_eff_cm)
+
+    def vertical_weight(self, depth_cm: np.ndarray | float) -> np.ndarray | float:
+        """Vertical Gaussian weight (0..1) at the given depth(s)."""
+        y = np.asarray(depth_cm, dtype=float)
+        w = np.exp(-((y - self.depth_cm) ** 2) / (2.0 * self.sigma_y_cm ** 2))
+        if np.isscalar(depth_cm):
+            return float(w)
+        return w
+
+    def vertical_average(self, depth_limit_cm: float) -> float:
+        """Average vertical weight over depths 0..``depth_limit_cm``.
+
+        ``(1/W) * integral_0^W exp(-(y-y0)^2 / 2*sy^2) dy`` in closed form
+        via the error function.
+        """
+        if depth_limit_cm <= 0.0:
+            raise ParameterError("depth limit must be positive")
+        s = self.sigma_y_cm
+        y0 = self.depth_cm
+        a = (0.0 - y0) / (math.sqrt(2.0) * s)
+        b = (depth_limit_cm - y0) / (math.sqrt(2.0) * s)
+        integral = s * math.sqrt(math.pi / 2.0) * (math.erf(b) - math.erf(a))
+        return integral / depth_limit_cm
+
+    def scaled(self, length_factor: float, peak_factor: float = 1.0
+               ) -> "HaloImplant":
+        """Scale pocket dimensions and/or peak concentration."""
+        if length_factor <= 0.0 or peak_factor <= 0.0:
+            raise ParameterError("scale factors must be positive")
+        return HaloImplant(
+            peak_cm3=self.peak_cm3 * peak_factor,
+            sigma_x_cm=self.sigma_x_cm * length_factor,
+            sigma_y_cm=self.sigma_y_cm * length_factor,
+            depth_cm=self.depth_cm * length_factor,
+        )
+
+
+@dataclass(frozen=True)
+class DopingProfile:
+    """Substrate + halo doping description of one device.
+
+    Parameters
+    ----------
+    n_sub_cm3:
+        Uniform substrate (well) doping ``N_sub``.
+    halo:
+        Optional halo implant pair.  ``None`` models a halo-free
+        (uniformly doped) device.
+    """
+
+    n_sub_cm3: float
+    halo: HaloImplant | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_sub_cm3 <= 0.0:
+            raise ParameterError(f"N_sub must be positive, got {self.n_sub_cm3}")
+
+    @property
+    def n_halo_net_cm3(self) -> float:
+        """Net halo doping ``N_halo = N_sub + N_p,halo`` (paper's Table 2/3)."""
+        peak = 0.0 if self.halo is None else self.halo.peak_cm3
+        return self.n_sub_cm3 + peak
+
+    @property
+    def n_p_halo_cm3(self) -> float:
+        """Peak halo doping ``N_p,halo`` (0 when halo-free)."""
+        return 0.0 if self.halo is None else self.halo.peak_cm3
+
+    # -- reductions -------------------------------------------------------
+
+    def effective_channel_doping(self, l_eff_cm: float,
+                                 depth_limit_cm: float | None = None) -> float:
+        """Channel-averaged doping ``N_eff(L)`` [cm^-3].
+
+        Averages the 2-D profile laterally over the channel and
+        vertically over ``depth_limit_cm`` (typically the depletion
+        width).  When no depth limit is given the vertical average is
+        taken at the halo's most effective depth (weight 1), which
+        over-weights the halo slightly and is useful as a conservative
+        starting point for fixed-point iteration with the depletion
+        width.
+        """
+        if self.halo is None:
+            return self.n_sub_cm3
+        lateral = self.halo.lateral_average(l_eff_cm)
+        if depth_limit_cm is None:
+            vertical = 1.0
+        else:
+            vertical = self.halo.vertical_average(depth_limit_cm)
+        return self.n_sub_cm3 + lateral * vertical
+
+    def vertical_profile(self, depths_cm: np.ndarray, l_eff_cm: float
+                         ) -> np.ndarray:
+        """1-D vertical doping cut N(y) [cm^-3], channel-averaged laterally.
+
+        This is the profile handed to the 1-D Poisson solver: at each
+        depth the halo contribution is its vertical Gaussian weight
+        times the lateral channel average.
+        """
+        depths = np.asarray(depths_cm, dtype=float)
+        profile = np.full_like(depths, self.n_sub_cm3)
+        if self.halo is not None:
+            lateral = self.halo.lateral_average(l_eff_cm)
+            profile = profile + lateral * np.asarray(
+                self.halo.vertical_weight(depths)
+            )
+        return profile
+
+    def raster2d(self, x_cm: np.ndarray, y_cm: np.ndarray, l_eff_cm: float
+                 ) -> np.ndarray:
+        """Full 2-D doping map N(x, y) on a lateral x vertical grid.
+
+        ``x`` runs along the channel (0 at the source edge,
+        ``l_eff_cm`` at the drain edge), ``y`` into the substrate.
+        Used for visualisation (the paper's Fig. 1b) and for sanity
+        checks of the analytic reductions against brute-force averages.
+        """
+        x = np.asarray(x_cm, dtype=float)[:, None]
+        y = np.asarray(y_cm, dtype=float)[None, :]
+        field = np.full((x.shape[0], y.shape[1]), self.n_sub_cm3)
+        if self.halo is not None:
+            h = self.halo
+            lat = (np.exp(-(x ** 2) / (2.0 * h.sigma_x_cm ** 2))
+                   + np.exp(-((x - l_eff_cm) ** 2) / (2.0 * h.sigma_x_cm ** 2)))
+            vert = np.exp(-((y - h.depth_cm) ** 2) / (2.0 * h.sigma_y_cm ** 2))
+            field = field + h.peak_cm3 * lat * vert
+        return field
+
+    # -- transforms -------------------------------------------------------
+
+    def with_substrate(self, n_sub_cm3: float) -> "DopingProfile":
+        """Return a copy with a new substrate doping."""
+        return replace(self, n_sub_cm3=n_sub_cm3)
+
+    def with_halo_peak(self, peak_cm3: float) -> "DopingProfile":
+        """Return a copy with a new halo peak (halo geometry preserved)."""
+        if self.halo is None:
+            raise ParameterError(
+                "profile has no halo; construct one with HaloImplant first"
+            )
+        return replace(self, halo=replace(self.halo, peak_cm3=peak_cm3))
+
+    def without_halo(self) -> "DopingProfile":
+        """Return a halo-free copy (ablation studies)."""
+        return replace(self, halo=None)

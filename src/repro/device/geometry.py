@@ -1,0 +1,182 @@
+"""Device geometry.
+
+The paper's convention (Section 2.2): ``L_poly`` is the etched length of
+the poly gate; every other physical dimension except ``T_ox`` —
+source/drain junction depth, lateral source/drain diffusion (gate
+overlap), halo dimensions — scales *in proportion to* ``L_poly`` under
+the super-V_th strategy, and by the fixed 30 %/generation node factor
+under the sub-V_th strategy (where ``L_poly`` itself scales slower).
+
+:class:`DeviceGeometry` therefore stores the junction/overlap dimensions
+explicitly and provides two constructors:
+
+* :meth:`DeviceGeometry.proportional` — dimensions tied to ``L_poly``
+  (super-V_th convention),
+* the plain constructor — dimensions chosen independently
+  (sub-V_th convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..constants import CM_PER_UM, nm_to_cm
+from ..errors import ParameterError
+
+#: Gate/source-drain overlap per side, as a fraction of the reference
+#: gate length.  With 0.10 per side, L_eff = 0.8 * L_poly under the
+#: proportional convention — calibrated (together with the short-
+#: channel constants in `threshold` and `subthreshold`) so the scaled
+#: device family tracks the paper's simulated S_S/V_th trajectories.
+OVERLAP_FRACTION: float = 0.10
+
+#: Source/drain junction depth as a fraction of the reference length.
+JUNCTION_DEPTH_FRACTION: float = 0.50
+
+#: Lateral extent of the drain/source diffusion beyond the gate edge,
+#: as a fraction of the reference length (sets junction capacitance).
+EXTENSION_FRACTION: float = 1.0
+
+#: Gate (poly) height as a fraction of the reference length; sets the
+#: outer-fringe capacitance.
+GATE_HEIGHT_FRACTION: float = 0.8
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Physical dimensions of a bulk MOSFET (all lengths in cm).
+
+    Parameters
+    ----------
+    l_poly_cm:
+        Etched physical gate length.
+    width_cm:
+        Device width.  Currents are often normalised per µm of width;
+        the default width is 1 µm so device currents read directly in
+        A/µm.
+    junction_depth_cm:
+        Source/drain junction depth ``X_j``.
+    overlap_cm:
+        Gate-to-source/drain overlap per side (``L_ov``); the effective
+        channel length is ``L_poly - 2 * L_ov``.
+    extension_cm:
+        Lateral extent of the source/drain diffusion beyond the gate
+        edge; only affects parasitic junction capacitance.
+    gate_height_cm:
+        Poly gate height; only affects outer fringe capacitance.
+    """
+
+    l_poly_cm: float
+    width_cm: float = CM_PER_UM
+    junction_depth_cm: float = 0.0
+    overlap_cm: float = 0.0
+    extension_cm: float = 0.0
+    gate_height_cm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.l_poly_cm <= 0.0:
+            raise ParameterError(f"l_poly must be positive, got {self.l_poly_cm}")
+        if self.width_cm <= 0.0:
+            raise ParameterError(f"width must be positive, got {self.width_cm}")
+        for name in ("junction_depth_cm", "overlap_cm", "extension_cm",
+                     "gate_height_cm"):
+            if getattr(self, name) < 0.0:
+                raise ParameterError(f"{name} must be >= 0")
+        if self.l_eff_cm <= 0.0:
+            raise ParameterError(
+                "overlap consumes the whole gate: "
+                f"L_poly={self.l_poly_cm:.3g} cm, L_ov={self.overlap_cm:.3g} cm"
+            )
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def proportional(cls, l_poly_cm: float, width_cm: float = CM_PER_UM,
+                     reference_cm: float | None = None) -> "DeviceGeometry":
+        """Geometry with all dimensions proportional to a reference length.
+
+        ``reference_cm`` defaults to ``l_poly_cm`` (the super-V_th
+        convention).  Passing a different reference implements the
+        sub-V_th convention, where junctions/overlap follow the *node*
+        scaling while the gate is drawn longer.
+        """
+        ref = l_poly_cm if reference_cm is None else reference_cm
+        if ref <= 0.0:
+            raise ParameterError("reference length must be positive")
+        return cls(
+            l_poly_cm=l_poly_cm,
+            width_cm=width_cm,
+            junction_depth_cm=JUNCTION_DEPTH_FRACTION * ref,
+            overlap_cm=OVERLAP_FRACTION * ref,
+            extension_cm=EXTENSION_FRACTION * ref,
+            gate_height_cm=GATE_HEIGHT_FRACTION * ref,
+        )
+
+    @classmethod
+    def from_nm(cls, l_poly_nm: float, width_um: float = 1.0,
+                reference_nm: float | None = None) -> "DeviceGeometry":
+        """Proportional geometry from nanometre inputs (convenience)."""
+        ref = None if reference_nm is None else nm_to_cm(reference_nm)
+        return cls.proportional(
+            nm_to_cm(l_poly_nm), width_cm=width_um * CM_PER_UM, reference_cm=ref
+        )
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def l_eff_cm(self) -> float:
+        """Effective (electrical) channel length ``L_poly - 2 L_ov``."""
+        return self.l_poly_cm - 2.0 * self.overlap_cm
+
+    @property
+    def l_poly_nm(self) -> float:
+        """Physical gate length in nm (for reports)."""
+        return self.l_poly_cm / nm_to_cm(1.0)
+
+    @property
+    def l_eff_nm(self) -> float:
+        """Effective channel length in nm (for reports)."""
+        return self.l_eff_cm / nm_to_cm(1.0)
+
+    @property
+    def width_um(self) -> float:
+        """Device width in µm (for reports)."""
+        return self.width_cm / CM_PER_UM
+
+    @property
+    def aspect_ratio(self) -> float:
+        """W / L_eff, the current-scaling aspect ratio."""
+        return self.width_cm / self.l_eff_cm
+
+    # -- transforms ------------------------------------------------------
+
+    def with_gate_length(self, l_poly_cm: float,
+                         rescale_parasitics: bool = False) -> "DeviceGeometry":
+        """Return a copy with a new gate length.
+
+        When ``rescale_parasitics`` is true, junction depth, overlap,
+        extension and gate height are re-derived proportionally from the
+        new length (super-V_th convention); otherwise they are kept,
+        which is the sub-V_th convention of drawing a longer gate on an
+        otherwise fixed process.
+        """
+        if rescale_parasitics:
+            return DeviceGeometry.proportional(l_poly_cm, width_cm=self.width_cm)
+        return replace(self, l_poly_cm=l_poly_cm)
+
+    def with_width(self, width_cm: float) -> "DeviceGeometry":
+        """Return a copy with a new device width."""
+        return replace(self, width_cm=width_cm)
+
+    def scaled(self, factor: float) -> "DeviceGeometry":
+        """Uniformly scale every dimension (width included) by ``factor``."""
+        if factor <= 0.0:
+            raise ParameterError("scaling factor must be positive")
+        return DeviceGeometry(
+            l_poly_cm=self.l_poly_cm * factor,
+            width_cm=self.width_cm * factor,
+            junction_depth_cm=self.junction_depth_cm * factor,
+            overlap_cm=self.overlap_cm * factor,
+            extension_cm=self.extension_cm * factor,
+            gate_height_cm=self.gate_height_cm * factor,
+        )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the reproduction library.
+
+A narrow set of exception types lets callers distinguish between user
+error (bad parameters), physics-domain violations (a model evaluated
+outside its validity range), and numerical failures (a solver that did
+not converge).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A user-supplied parameter is invalid (wrong sign, out of range)."""
+
+
+class ModelDomainError(ReproError, ValueError):
+    """A physical model was evaluated outside its domain of validity."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual norm, if available.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """A design-space optimisation could not satisfy its constraints."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment could not be assembled or executed."""

@@ -1,0 +1,51 @@
+"""Reproduced experiments: every table and figure in the paper.
+
+Each module reproduces one artefact and returns an
+:class:`repro.analysis.report.ExperimentResult` with the data plus
+paper-vs-measured comparison records.  Use:
+
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("fig2")     # doctest: +SKIP
+
+or ``python -m repro run fig2`` from the command line.
+"""
+
+from .registry import (
+    run_experiment,
+    list_experiments,
+    experiment_ids,
+)
+# Importing the modules registers them.
+from . import (  # noqa: F401  -- imported for registration side effect
+    table1,
+    table2,
+    table3,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    ablation_tox,
+    ablation_halo,
+    ablation_leakage,
+    ablation_analytic,
+    ext_multivth,
+    ext_highk,
+    ext_temperature,
+    ext_corners,
+    ext_pareto,
+    ext_projection,
+    ext_sensitivity,
+    ext_dvs,
+    eq3,
+    headlines,
+)
+
+__all__ = ["run_experiment", "list_experiments", "experiment_ids"]

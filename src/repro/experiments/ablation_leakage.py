@@ -1,0 +1,100 @@
+"""Ablation — the leakage budget policy.
+
+Section 2's super-V_th strategy lets I_off grow 25 %/generation;
+Section 3's strategy pins it at 100 pA/µm.  This ablation isolates the
+policy choice: the same super-V_th flow run under both budgets, showing
+how the relaxed budget trades V_th (and sub-V_th drive) for leakage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..analysis.series import Series
+from ..device.mosfet import Polarity
+from ..scaling.roadmap import NodeSpec, roadmap_nodes
+from ..scaling.supervth import SuperVthOptimizer
+from .registry import experiment
+
+#: The fixed-budget alternative [A/µm].
+FIXED_IOFF = 100e-12
+#: Sub-threshold evaluation supply [V].
+EVAL_VDD = 0.25
+
+
+def _fixed_budget_node(node: NodeSpec) -> NodeSpec:
+    return NodeSpec(
+        name=f"{node.name}-fixed-ioff",
+        node_nm=node.node_nm,
+        l_poly_nm=node.l_poly_nm,
+        t_ox_nm=node.t_ox_nm,
+        vdd_nominal=node.vdd_nominal,
+        ioff_target_a_per_um=FIXED_IOFF,
+        generation=node.generation,
+    )
+
+
+@experiment("ablation_leakage", "Ablation: growing vs fixed leakage budget")
+def run() -> ExperimentResult:
+    """Run the super-V_th flow under both leakage policies."""
+    nodes = roadmap_nodes()
+    node_nm = np.array([n.node_nm for n in nodes])
+    vth_grow, vth_fixed = [], []
+    drive_grow, drive_fixed = [], []
+    for node in nodes:
+        dev_grow = SuperVthOptimizer(node, Polarity.NFET).optimize()
+        dev_fixed = SuperVthOptimizer(_fixed_budget_node(node),
+                                      Polarity.NFET).optimize()
+        vth_grow.append(1000.0 * dev_grow.vth_sat_cc(node.vdd_nominal))
+        vth_fixed.append(1000.0 * dev_fixed.vth_sat_cc(node.vdd_nominal))
+        drive_grow.append(dev_grow.i_on_per_um(EVAL_VDD))
+        drive_fixed.append(dev_fixed.i_on_per_um(EVAL_VDD))
+    vth_grow = np.array(vth_grow)
+    vth_fixed = np.array(vth_fixed)
+    drive_grow = np.array(drive_grow)
+    drive_fixed = np.array(drive_fixed)
+
+    series = (
+        Series(label="Vth,sat (+25%/gen budget)", x=node_nm, y=vth_grow,
+               x_label="node [nm]", y_label="V_th,sat [mV]"),
+        Series(label="Vth,sat (fixed 100pA budget)", x=node_nm, y=vth_fixed,
+               x_label="node [nm]", y_label="V_th,sat [mV]"),
+        Series(label="Ion@250mV (+25%/gen budget)", x=node_nm, y=drive_grow,
+               x_label="node [nm]", y_label="I_on [A/um]"),
+        Series(label="Ion@250mV (fixed budget)", x=node_nm, y=drive_fixed,
+               x_label="node [nm]", y_label="I_on [A/um]"),
+    )
+
+    comparisons = (
+        Comparison(
+            claim="the relaxed budget buys lower V_th at every scaled node",
+            paper_value=float("nan"),
+            measured_value=float((vth_fixed - vth_grow)[1:].min()),
+            unit="mV",
+            holds=bool(np.all(vth_fixed[1:] > vth_grow[1:])),
+            note="V_th difference, fixed minus growing budget",
+        ),
+        Comparison(
+            claim="the relaxed budget buys sub-V_th drive current",
+            paper_value=float("nan"),
+            measured_value=float((drive_grow / drive_fixed)[1:].min()),
+            holds=bool(np.all(drive_grow[1:] > drive_fixed[1:])),
+            note="drive ratio at 250 mV, growing over fixed",
+        ),
+        Comparison(
+            claim="even the relaxed budget cannot stop V_th from rising "
+                  "with scaling",
+            paper_value=58.0,
+            measured_value=float(vth_grow[-1] - vth_grow[0]),
+            unit="mV",
+            holds=vth_grow[-1] > vth_grow[0],
+            note="the S_S degradation forces V_th up regardless of policy",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ablation_leakage",
+        title="Leakage-budget policy ablation",
+        series=series,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,133 @@
+"""Extension — the limit of dynamic voltage scaling (paper ref [17]).
+
+The paper's V_min machinery comes from Zhai et al.'s DVS-limit work:
+below the minimum-energy voltage, scaling the supply further wastes
+both time and energy, so a slower-than-V_min workload should compute
+at V_min and idle.  This experiment traces the full E(throughput)
+curve for both 32nm strategy designs and verifies the signature shape:
+
+* energy per cycle falls as throughput drops toward the V_min rate,
+* then *saturates* (the DVS limit) below it,
+* the sub-V_th design's curve sits below the super-V_th design's over
+  the shared throughput range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..analysis.series import Series
+from ..circuit.chain import InverterChain
+from ..circuit.dvs import chain_rate_hz, energy_per_cycle_at_throughput
+from .families import sub_vth_family, super_vth_family
+from .registry import experiment
+
+#: Throughput probes as multiples of each design's own V_min rate.
+RATE_MULTIPLES = (0.05, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _curve(design, power_gated: bool = False
+           ) -> tuple[np.ndarray, np.ndarray, float]:
+    chain = InverterChain(design.inverter(0.3), n_stages=30, activity=0.1)
+    mep = chain.minimum_energy_point()
+    f_vmin = chain_rate_hz(chain, mep.vmin)
+    rates = np.array([m * f_vmin for m in RATE_MULTIPLES])
+    energies = np.array([
+        energy_per_cycle_at_throughput(chain, float(f), mep,
+                                       power_gated=power_gated).energy_j
+        for f in rates
+    ])
+    return rates, energies, f_vmin
+
+
+@experiment("ext_dvs", "Extension: the DVS limit (ref [17])")
+def run() -> ExperimentResult:
+    """Trace E(throughput) for both 32nm designs."""
+    sup = super_vth_family().design("32nm")
+    sub = sub_vth_family().design("32nm")
+    rates_sup, e_sup, f_vmin_sup = _curve(sup)
+    rates_sub, e_sub, f_vmin_sub = _curve(sub)
+    _rates_g, e_sub_gated, _f = _curve(sub, power_gated=True)
+
+    series = (
+        Series(label="E(throughput) super-vth", x=rates_sup, y=e_sup,
+               x_label="cycle rate [Hz]", y_label="energy/cycle [J]"),
+        Series(label="E(throughput) sub-vth", x=rates_sub, y=e_sub,
+               x_label="cycle rate [Hz]", y_label="energy/cycle [J]"),
+        Series(label="E(throughput) sub-vth, power-gated", x=rates_sub,
+               y=e_sub_gated, x_label="cycle rate [Hz]",
+               y_label="energy/cycle [J]"),
+    )
+
+    idx_vmin = RATE_MULTIPLES.index(1.0)
+    ungated_blowup = float(e_sub[0] / e_sub[idx_vmin])
+    gated_floor = float(e_sub_gated[0] / e_sub_gated[idx_vmin])
+    above_slope = float(e_sub[-1] / e_sub[idx_vmin])
+
+    # Strategy comparison in the deep duty-cycled regime: without
+    # gating, idle leakage dominates and the higher-V_th super device
+    # actually wins standby; with gating each design sits at its own
+    # V_min floor and the sub-V_th advantage returns.
+    _r, e_sup_gated, _f2 = _curve(sup, power_gated=True)
+    lo = max(rates_sup[0], rates_sub[0])
+    probe = 2.0 * lo
+    chain_sup = InverterChain(sup.inverter(0.3))
+    chain_sub = InverterChain(sub.inverter(0.3))
+    e_slow_sup = energy_per_cycle_at_throughput(chain_sup, probe).energy_j
+    e_slow_sub = energy_per_cycle_at_throughput(chain_sub, probe).energy_j
+    gated_advantage = 1.0 - e_sub_gated[0] / e_sup_gated[0]
+
+    comparisons = (
+        Comparison(
+            claim="without power gating, idling below the V_min rate "
+                  "blows up energy per cycle (why Insomniac stays awake)",
+            paper_value=float("nan"),
+            measured_value=ungated_blowup,
+            holds=ungated_blowup > 2.0,
+            note="E(0.05 f_Vmin)/E(f_Vmin), idle leakage retained",
+        ),
+        Comparison(
+            claim="with ideal power gating, energy saturates at the V_min "
+                  "floor (the DVS limit)",
+            paper_value=1.0,
+            measured_value=gated_floor,
+            holds=abs(gated_floor - 1.0) < 0.02,
+        ),
+        Comparison(
+            claim="energy rises steeply above the V_min rate",
+            paper_value=float("nan"),
+            measured_value=above_slope,
+            holds=above_slope > 1.3,
+            note="E(16 f_Vmin)/E(f_Vmin)",
+        ),
+        Comparison(
+            claim="without gating, deep duty-cycling favours the higher-"
+                  "V_th super device (standby leakage rules)",
+            paper_value=float("nan"),
+            measured_value=e_slow_sub / e_slow_sup,
+            holds=e_slow_sub > e_slow_sup,
+            note="matched slow rate, idle leakage retained — the flip "
+                 "side of the sub-V_th at-speed win in ext_pareto",
+        ),
+        Comparison(
+            claim="with power gating the sub-V_th energy floor wins again",
+            paper_value=0.23,
+            measured_value=gated_advantage,
+            holds=gated_advantage > 0.05,
+            note="each design idles for free at its own V_min floor",
+        ),
+        Comparison(
+            claim="the sub-V_th design's V_min rate is faster (more of the "
+                  "rate axis enjoys minimum-energy operation)",
+            paper_value=float("nan"),
+            measured_value=f_vmin_sub / f_vmin_sup,
+            holds=f_vmin_sub > f_vmin_sup,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext_dvs",
+        title="The DVS limit at the 32nm node",
+        series=series,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,101 @@
+"""Extension — temperature behaviour of the scaled sub-V_th circuits.
+
+Sub-V_th operation is acutely temperature-sensitive: S_S is
+proportional to absolute temperature, leakage is exponential in it,
+and — unlike super-threshold logic — sub-V_th gates get *faster* when
+hot (temperature inversion: V_th drops while the supply stays fixed).
+This experiment sweeps the 32nm sub-V_th design from 250 K to 400 K
+and verifies all three signatures, which any deployment of the paper's
+proposed devices (sensor nodes in uncontrolled environments) would
+need to budget for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..analysis.series import Series
+from ..circuit.delay import analytic_delay
+from ..circuit.inverter import Inverter
+from ..device.mosfet import MOSFET
+from .families import SUB_VTH_SUPPLY, sub_vth_family
+from .registry import experiment
+
+#: Temperature sweep [K].
+TEMPERATURES_K = (250.0, 275.0, 300.0, 325.0, 350.0, 375.0, 400.0)
+
+
+def _at_temperature(device: MOSFET, temperature_k: float) -> MOSFET:
+    """Rebuild a device at a different lattice temperature."""
+    return MOSFET(
+        polarity=device.polarity,
+        geometry=device.geometry,
+        profile=device.profile,
+        stack=device.stack,
+        temperature_k=temperature_k,
+        vth_offset_v=device.vth_offset_v,
+    )
+
+
+@experiment("ext_temperature", "Extension: temperature behaviour at 32nm")
+def run() -> ExperimentResult:
+    """Sweep temperature for the 32nm sub-V_th design."""
+    design = sub_vth_family().design("32nm")
+    temps = np.array(TEMPERATURES_K)
+    ss = []
+    ioff = []
+    delay = []
+    for t in TEMPERATURES_K:
+        n_dev = _at_temperature(design.nfet, t)
+        p_dev = _at_temperature(design.pfet, t)
+        inv = Inverter(nfet=n_dev, pfet=p_dev, vdd=SUB_VTH_SUPPLY)
+        ss.append(n_dev.ss_mv_per_dec)
+        ioff.append(n_dev.i_off_per_um(SUB_VTH_SUPPLY))
+        delay.append(analytic_delay(inv))
+    ss = np.array(ss)
+    ioff = np.array(ioff)
+    delay = np.array(delay)
+
+    series = (
+        Series(label="S_S vs T", x=temps, y=ss, x_label="T [K]",
+               y_label="S_S [mV/dec]"),
+        Series(label="Ioff vs T @250mV", x=temps, y=ioff, x_label="T [K]",
+               y_label="I_off [A/um]"),
+        Series(label="FO1 delay vs T @250mV", x=temps, y=delay,
+               x_label="T [K]", y_label="t_p [s]"),
+    )
+
+    idx_300 = list(TEMPERATURES_K).index(300.0)
+    ss_ratio = float(ss[-1] / ss[idx_300])
+    t_ratio = 400.0 / 300.0
+    comparisons = (
+        Comparison(
+            claim="S_S grows proportionally to absolute temperature",
+            paper_value=t_ratio,
+            measured_value=ss_ratio,
+            holds=abs(ss_ratio - t_ratio) / t_ratio < 0.10,
+            note="S_S(400K)/S_S(300K) vs T ratio; small deviation from "
+                 "the v_T term via W_dep(T)",
+        ),
+        Comparison(
+            claim="leakage grows steeply with temperature",
+            paper_value=float("nan"),
+            measured_value=float(ioff[-1] / ioff[idx_300]),
+            holds=ioff[-1] > 5.0 * ioff[idx_300],
+            note="I_off(400K)/I_off(300K)",
+        ),
+        Comparison(
+            claim="temperature inversion: sub-V_th gates speed up when hot",
+            paper_value=float("nan"),
+            measured_value=float(delay[idx_300] / delay[-1]),
+            holds=bool(np.all(np.diff(delay) < 0.0)),
+            note="speedup from 300K to 400K; delay monotone in T",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext_temperature",
+        title="Temperature behaviour of the 32nm sub-V_th design",
+        series=series,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,30 @@
+"""Cached device families shared across experiments.
+
+Building the sub-V_th family runs hundreds of doping optimisations;
+experiments share one cached instance per configuration so running the
+whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..scaling.strategy import DeviceFamily
+from ..scaling.subvth import build_sub_vth_family
+from ..scaling.supervth import build_super_vth_family
+
+
+@lru_cache(maxsize=4)
+def super_vth_family(include_130nm: bool = False) -> DeviceFamily:
+    """The (cached) Table 2 family."""
+    return build_super_vth_family(include_130nm)
+
+
+@lru_cache(maxsize=4)
+def sub_vth_family(include_130nm: bool = False) -> DeviceFamily:
+    """The (cached) Table 3 family."""
+    return build_sub_vth_family(include_130nm)
+
+
+#: Sub-threshold evaluation supply used by the figure experiments [V].
+SUB_VTH_SUPPLY: float = 0.25

@@ -1,0 +1,96 @@
+"""Fig. 1(b) — the 2-D doping profile of the optimised 90nm NFET.
+
+Fig. 1(a) is a schematic cross-section and Fig. 1(c) the optimiser
+flow-chart (implemented as :mod:`repro.scaling.supervth`); the
+quantitative panel is (b): the doping contours of a representative
+90nm device.  This experiment rasterises the optimised 90nm NFET's
+profile on a lateral x vertical grid and checks its structure — halo
+pockets peaked at the channel edges near the junction depth, decaying
+to the uniform substrate level at mid-channel and at depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..analysis.series import Series
+from .families import super_vth_family
+from .registry import experiment
+
+#: Raster resolution.
+N_X, N_Y = 121, 81
+
+
+@experiment("fig1", "2-D doping profile of the 90nm NFET (Fig. 1b)")
+def run() -> ExperimentResult:
+    """Rasterise and structurally validate the 90nm doping profile."""
+    design = super_vth_family().design("90nm")
+    dev = design.nfet
+    l_eff = dev.geometry.l_eff_cm
+    depth = 3.0 * dev.geometry.junction_depth_cm
+    x = np.linspace(0.0, l_eff, N_X)
+    y = np.linspace(0.0, depth, N_Y)
+    field = dev.profile.raster2d(x, y, l_eff)
+
+    # Vertical cut at the source-side channel edge (through the halo)
+    # and at mid-channel.
+    edge_cut = field[0, :]
+    mid_cut = field[N_X // 2, :]
+    series = (
+        Series(label="doping at channel edge", x=1e7 * y, y=edge_cut,
+               x_label="depth [nm]", y_label="N_A [cm^-3]"),
+        Series(label="doping at mid-channel", x=1e7 * y, y=mid_cut,
+               x_label="depth [nm]", y_label="N_A [cm^-3]"),
+    )
+
+    halo = dev.profile.halo
+    peak_value = float(field.max())
+    peak_ix, peak_iy = np.unravel_index(int(np.argmax(field)), field.shape)
+    peak_depth = float(y[peak_iy])
+    deep_value = float(field[N_X // 2, -1])
+
+    comparisons = (
+        Comparison(
+            claim="peak doping equals N_sub + N_p,halo at the pocket",
+            paper_value=dev.profile.n_halo_net_cm3,
+            measured_value=peak_value,
+            unit="cm^-3",
+            holds=abs(peak_value / dev.profile.n_halo_net_cm3 - 1.0) < 0.05,
+        ),
+        Comparison(
+            claim="halo pockets sit at the channel edges",
+            paper_value=0.0,
+            measured_value=float(min(x[peak_ix], l_eff - x[peak_ix])) * 1e7,
+            unit="nm",
+            holds=min(peak_ix, N_X - 1 - peak_ix) <= 1,
+            note="lateral distance of the doping maximum from an edge",
+        ),
+        Comparison(
+            claim="halo peak depth matches the implant specification",
+            paper_value=1e7 * halo.depth_cm,
+            measured_value=1e7 * peak_depth,
+            unit="nm",
+            holds=abs(peak_depth - halo.depth_cm) < 2.0 * (y[1] - y[0]),
+        ),
+        Comparison(
+            claim="deep bulk relaxes to the uniform substrate doping",
+            paper_value=dev.profile.n_sub_cm3,
+            measured_value=deep_value,
+            unit="cm^-3",
+            holds=abs(deep_value / dev.profile.n_sub_cm3 - 1.0) < 0.10,
+        ),
+        Comparison(
+            claim="mid-channel surface doping is far below the halo peak "
+                  "(pockets are localised)",
+            paper_value=float("nan"),
+            measured_value=float(mid_cut.max() / peak_value),
+            holds=mid_cut.max() < 0.8 * peak_value,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="2-D doping profile of the optimised 90nm NFET",
+        series=series,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,73 @@
+"""Fig. 2 — NFET inverse subthreshold slope and I_on/I_off ratio.
+
+Under super-V_th scaling: S_S per node, and the on/off current ratio at
+V_dd = 250 mV.  The paper's headline device-level finding: S_S degrades
+~11 % between the 90nm and 32nm nodes, which at 250 mV costs ~60 % of
+the I_on/I_off ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..analysis.series import Series
+from .families import SUB_VTH_SUPPLY, super_vth_family
+from .registry import experiment
+
+#: Paper claims.
+PAPER_SS_DEGRADATION = 0.11
+PAPER_ON_OFF_REDUCTION = 0.60
+
+
+@experiment("fig2", "S_S and I_on/I_off vs node (Fig. 2)")
+def run() -> ExperimentResult:
+    """Reproduce Fig. 2 under the super-V_th strategy."""
+    family = super_vth_family()
+    nodes = np.array([d.node.node_nm for d in family.designs])
+    ss = np.array([d.nfet.ss_mv_per_dec for d in family.designs])
+    ratio = np.array([
+        d.nfet.ids(SUB_VTH_SUPPLY, SUB_VTH_SUPPLY)
+        / d.nfet.ids(0.0, SUB_VTH_SUPPLY)
+        for d in family.designs
+    ])
+
+    ss_series = Series(label="S_S (super-vth)", x=nodes, y=ss,
+                       x_label="node [nm]", y_label="S_S [mV/dec]")
+    ratio_series = Series(label="Ion/Ioff @250mV (super-vth)", x=nodes,
+                          y=ratio, x_label="node [nm]",
+                          y_label="I_on/I_off")
+
+    ss_change = float(ss[-1] / ss[0] - 1.0)
+    ratio_change = float(1.0 - ratio[-1] / ratio[0])
+    comparisons = (
+        Comparison(
+            claim="S_S degrades between the 90nm and 32nm nodes",
+            paper_value=PAPER_SS_DEGRADATION,
+            measured_value=ss_change,
+            holds=0.05 < ss_change < 0.35,
+            note="paper ~11%; model calibration gives a steeper but "
+                 "same-direction trajectory",
+        ),
+        Comparison(
+            claim="I_on/I_off at 250 mV drops sharply 90nm -> 32nm",
+            paper_value=PAPER_ON_OFF_REDUCTION,
+            measured_value=ratio_change,
+            holds=ratio_change > 0.45,
+            note="paper ~60% reduction",
+        ),
+        Comparison(
+            claim="S_S degradation accelerates (convex in generation)",
+            paper_value=float("nan"),
+            measured_value=float(np.diff(ss).max()),
+            unit="mV/dec",
+            holds=bool(np.all(np.diff(np.diff(ss)) > -1e-9)),
+            note="each generation loses more slope than the last",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="NFET inverse subthreshold slope and on/off ratio",
+        series=(ss_series, ratio_series),
+        comparisons=comparisons,
+    )

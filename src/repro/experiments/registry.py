@@ -1,0 +1,48 @@
+"""Experiment registry.
+
+Experiments self-register with the :func:`experiment` decorator; the
+CLI and the benchmark harness look them up by id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..analysis.report import ExperimentResult
+from ..errors import ExperimentError
+
+_REGISTRY: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {}
+
+
+def experiment(experiment_id: str, title: str):
+    """Class-free registration decorator for experiment functions."""
+
+    def register(func: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = (title, func)
+        return func
+
+    return register
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id and return its result."""
+    try:
+        _title, func = _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return func()
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, title) pairs for all registered experiments."""
+    return [(eid, _REGISTRY[eid][0]) for eid in experiment_ids()]

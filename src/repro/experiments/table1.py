@@ -1,0 +1,73 @@
+"""Table 1 — generalized scaling rules.
+
+A consistency demonstration rather than a measurement: the
+:class:`repro.scaling.generalized.GeneralizedScaling` algebra is
+evaluated at the classic per-generation shrink (alpha = 1/0.7) and the
+resulting factors are checked against the paper's table.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..scaling.generalized import GeneralizedScaling
+from .registry import experiment
+
+#: The classic per-generation shrink (0.7x dimensions).
+ALPHA = 1.0 / 0.7
+#: A representative field-growth factor for generalized scaling.
+EPSILON = 1.1
+
+
+@experiment("table1", "Generalized scaling rules (Table 1)")
+def run() -> ExperimentResult:
+    """Evaluate the Table 1 factors and verify the paper's algebra."""
+    rule = GeneralizedScaling(alpha=ALPHA, epsilon=EPSILON)
+    table = rule.table()
+    rows = tuple(
+        (name, f"{factor:.4f}") for name, factor in table.items()
+    )
+    comparisons = (
+        Comparison(
+            claim="physical dimensions scale as 1/alpha",
+            paper_value=1.0 / ALPHA,
+            measured_value=table["physical_dimensions"],
+            holds=abs(table["physical_dimensions"] - 1.0 / ALPHA) < 1e-12,
+        ),
+        Comparison(
+            claim="channel doping scales as epsilon*alpha",
+            paper_value=EPSILON * ALPHA,
+            measured_value=table["channel_doping"],
+            holds=abs(table["channel_doping"] - EPSILON * ALPHA) < 1e-12,
+        ),
+        Comparison(
+            claim="V_dd scales as epsilon/alpha",
+            paper_value=EPSILON / ALPHA,
+            measured_value=table["vdd"],
+            holds=abs(table["vdd"] - EPSILON / ALPHA) < 1e-12,
+        ),
+        Comparison(
+            claim="area scales as 1/alpha^2",
+            paper_value=ALPHA ** -2,
+            measured_value=table["area"],
+            holds=abs(table["area"] - ALPHA ** -2) < 1e-12,
+        ),
+        Comparison(
+            claim="power scales as epsilon^2/alpha^2",
+            paper_value=(EPSILON / ALPHA) ** 2,
+            measured_value=table["power"],
+            holds=abs(table["power"] - (EPSILON / ALPHA) ** 2) < 1e-12,
+        ),
+        Comparison(
+            claim="peak field grows by epsilon",
+            paper_value=EPSILON,
+            measured_value=rule.field_factor,
+            holds=abs(rule.field_factor - EPSILON) < 1e-12,
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Generalized scaling rules",
+        headers=("parameter", "scaling factor"),
+        rows=rows,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,91 @@
+"""Table 2 — NFET parameters under super-V_th scaling.
+
+Runs the Fig. 1(c) optimiser at every node and tabulates the same
+columns the paper prints: L_poly, T_ox, N_sub, N_halo, V_dd, V_th,sat,
+I_off and the intrinsic delay tau = C_g V_dd / I_on.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Comparison, ExperimentResult
+from .families import super_vth_family
+from .registry import experiment
+
+#: Paper Table 2 reference values, 90nm -> 32nm order.
+PAPER_VTH_SAT_MV = (403.0, 420.0, 438.0, 461.0)
+PAPER_IOFF_PA = (100.0, 125.0, 156.0, 195.0)
+PAPER_TAU_PS = (1.3, 0.97, 0.75, 0.62)
+PAPER_NSUB = (1.52e18, 1.97e18, 2.52e18, 3.31e18)
+PAPER_NHALO = (3.63e18, 5.17e18, 7.83e18, 12.0e18)
+
+
+@experiment("table2", "NFET parameters under super-V_th scaling (Table 2)")
+def run() -> ExperimentResult:
+    """Reproduce Table 2 and check its trend claims."""
+    family = super_vth_family()
+    rows = []
+    summaries = []
+    for design in family.designs:
+        s = design.summary()
+        summaries.append(s)
+        rows.append((
+            design.node.name,
+            f"{s['l_poly_nm']:.0f}",
+            f"{s['t_ox_nm']:.2f}",
+            f"{s['n_sub_cm3']:.3g}",
+            f"{s['n_halo_cm3']:.3g}",
+            f"{s['vdd']:.1f}",
+            f"{s['vth_sat_mv']:.0f}",
+            f"{s['ioff_pa_per_um']:.0f}",
+            f"{s['tau_ps']:.2f}",
+        ))
+
+    vth = [s["vth_sat_mv"] for s in summaries]
+    ioff = [s["ioff_pa_per_um"] for s in summaries]
+    tau = [s["tau_ps"] for s in summaries]
+    nsub = [s["n_sub_cm3"] for s in summaries]
+    nhalo = [s["n_halo_cm3"] for s in summaries]
+
+    comparisons = (
+        Comparison(
+            claim="I_off meets the 100 pA/um +25%/gen budget at every node",
+            paper_value=PAPER_IOFF_PA[-1],
+            measured_value=ioff[-1],
+            unit="pA/um",
+            holds=all(abs(m - p) / p < 0.05
+                      for m, p in zip(ioff, PAPER_IOFF_PA)),
+            note="budget is an optimiser constraint; must bind exactly",
+        ),
+        Comparison(
+            claim="V_th,sat increases monotonically with scaling",
+            paper_value=PAPER_VTH_SAT_MV[-1] - PAPER_VTH_SAT_MV[0],
+            measured_value=vth[-1] - vth[0],
+            unit="mV",
+            holds=all(b > a for a, b in zip(vth, vth[1:])),
+            note="paper: +58 mV over three generations",
+        ),
+        Comparison(
+            claim="channel doping (N_sub, N_halo) grows every generation",
+            paper_value=PAPER_NHALO[-1] / PAPER_NHALO[0],
+            measured_value=nhalo[-1] / nhalo[0],
+            holds=(all(b > a for a, b in zip(nsub, nsub[1:]))
+                   and all(b > a for a, b in zip(nhalo, nhalo[1:]))),
+            note="ratio of 32nm to 90nm net halo doping",
+        ),
+        Comparison(
+            claim="intrinsic delay tau improves with scaling at nominal V_dd",
+            paper_value=PAPER_TAU_PS[-1] / PAPER_TAU_PS[0],
+            measured_value=tau[-1] / tau[0],
+            holds=tau[-1] < tau[0],
+            note="absolute tau differs (mobility/velocity-saturation "
+                 "calibration); the scaling ratio is the claim",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="NFET parameters under super-V_th scaling",
+        headers=("node", "L_poly nm", "T_ox nm", "N_sub cm-3", "N_halo cm-3",
+                 "V_dd", "V_th,sat mV", "I_off pA/um", "tau ps"),
+        rows=tuple(rows),
+        comparisons=comparisons,
+    )

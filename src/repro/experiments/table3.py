@@ -1,0 +1,100 @@
+"""Table 3 — NFET parameters under the proposed sub-V_th scaling.
+
+Runs the Section 3 optimiser (energy-optimal L_poly, minimum-S_S doping
+at fixed I_off) and tabulates L_poly, T_ox, dopings and the normalized
+energy (C_L S_S^2) and delay (C_L S_S) factors the paper lists.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..scaling.metrics import per_generation_change
+from .families import sub_vth_family, super_vth_family
+from .registry import experiment
+
+#: Paper Table 3 reference values (90nm -> 32nm).
+PAPER_L_POLY_NM = (95.0, 75.0, 60.0, 45.0)
+#: Paper's normalized energy factors (90nm row normalised to 1).
+PAPER_ENERGY_FACTOR = (1.0, 0.80, 0.65, 0.51)
+PAPER_DELAY_FACTOR = (1.0, 0.80, 0.65, 0.50)
+
+
+@experiment("table3", "NFET parameters under sub-V_th scaling (Table 3)")
+def run() -> ExperimentResult:
+    """Reproduce Table 3 and its scaling-trend claims."""
+    family = sub_vth_family()
+    reference = super_vth_family()
+
+    l_poly = [d.nfet.geometry.l_poly_nm for d in family.designs]
+    ss = [d.nfet.ss_v_per_dec for d in family.designs]
+    c_load = [d.load_capacitance() for d in family.designs]
+    energy_factor = [c * s ** 2 for c, s in zip(c_load, ss)]
+    delay_factor = [c * s for c, s in zip(c_load, ss)]
+    ef_norm = [v / energy_factor[0] for v in energy_factor]
+    df_norm = [v / delay_factor[0] for v in delay_factor]
+
+    rows = []
+    for i, design in enumerate(family.designs):
+        s = design.summary()
+        rows.append((
+            design.node.name,
+            f"{s['l_poly_nm']:.0f}",
+            f"{s['t_ox_nm']:.2f}",
+            f"{s['n_sub_cm3']:.3g}",
+            f"{s['n_halo_cm3']:.3g}",
+            f"{ef_norm[i]:.2f}",
+            f"{df_norm[i]:.2f}",
+            f"{s['ss_mv_per_dec']:.1f}",
+        ))
+
+    super_l = [d.nfet.geometry.l_poly_nm for d in reference.designs]
+    sub_rates = per_generation_change(l_poly)
+    super_rates = per_generation_change(super_l)
+
+    comparisons = (
+        Comparison(
+            claim="sub-V_th L_poly exceeds the super-V_th L_poly at scaled nodes",
+            paper_value=PAPER_L_POLY_NM[-1],
+            measured_value=l_poly[-1],
+            unit="nm",
+            holds=all(ls > lp for ls, lp in zip(l_poly[1:], super_l[1:])),
+            note="paper 32nm: 45 vs 22 nm",
+        ),
+        Comparison(
+            claim="sub-V_th L_poly scales slower than the 30%/gen super rate",
+            paper_value=-0.225,
+            measured_value=sum(sub_rates) / len(sub_rates),
+            holds=all(abs(r) < abs(s) for r, s in zip(sub_rates, super_rates)),
+            note="paper: 20-25%/gen vs 30%/gen",
+        ),
+        Comparison(
+            claim="normalized energy factor C_L*S_S^2 falls every generation",
+            paper_value=PAPER_ENERGY_FACTOR[-1],
+            measured_value=ef_norm[-1],
+            holds=all(b < a for a, b in zip(ef_norm, ef_norm[1:])),
+            note="paper reaches 0.51 at 32nm",
+        ),
+        Comparison(
+            claim="normalized delay factor C_L*S_S falls every generation",
+            paper_value=PAPER_DELAY_FACTOR[-1],
+            measured_value=df_norm[-1],
+            holds=all(b < a for a, b in zip(df_norm, df_norm[1:])),
+            note="I_off fixed, so the Eq. 6 factor reduces to C_L*S_S",
+        ),
+        Comparison(
+            claim="S_S stays approximately constant across nodes",
+            paper_value=1.2,
+            measured_value=1000.0 * (max(ss) - min(ss)),
+            unit="mV/dec",
+            holds=(max(ss) - min(ss)) < 0.005,
+            note="paper: 1.2 mV/dec spread between 90nm and 32nm",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="NFET parameters under sub-V_th scaling",
+        headers=("node", "L_poly nm", "T_ox nm", "N_sub cm-3", "N_halo cm-3",
+                 "C_L*S_S^2 (norm)", "C_L*S_S (norm)", "S_S mV/dec"),
+        rows=tuple(rows),
+        comparisons=comparisons,
+    )

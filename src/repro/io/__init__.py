@@ -1,0 +1,32 @@
+"""Serialization: devices, families and experiment results as JSON.
+
+A downstream user of the library wants to persist an optimised device
+family (the Table 2/3 outputs are the product of a few seconds of
+optimisation) and reload it without re-running the flows, and to dump
+experiment results for external plotting.  Everything round-trips
+through plain dicts so the JSON layer stays trivial.
+"""
+
+from .serialize import (
+    device_to_dict,
+    device_from_dict,
+    design_to_dict,
+    design_from_dict,
+    family_to_dict,
+    family_from_dict,
+    result_to_dict,
+    save_json,
+    load_json,
+)
+
+__all__ = [
+    "device_to_dict",
+    "device_from_dict",
+    "design_to_dict",
+    "design_from_dict",
+    "family_to_dict",
+    "family_from_dict",
+    "result_to_dict",
+    "save_json",
+    "load_json",
+]

@@ -1,0 +1,196 @@
+"""Dict/JSON codecs for the library's core objects.
+
+The schema is versioned (``schema`` field) and intentionally flat:
+every physical quantity appears once, in its canonical unit, so the
+files are greppable and diffable in code review.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from ..analysis.report import ExperimentResult
+from ..device.doping import DopingProfile, HaloImplant
+from ..device.geometry import DeviceGeometry
+from ..device.mosfet import MOSFET, Polarity
+from ..errors import ParameterError
+from ..materials.oxide import GateStack
+from ..scaling.roadmap import NodeSpec
+from ..scaling.strategy import DeviceDesign, DeviceFamily
+
+SCHEMA_VERSION = 1
+
+
+# -- device -------------------------------------------------------------------
+
+def device_to_dict(device: MOSFET) -> dict[str, Any]:
+    """Serialise a MOSFET to a plain dict."""
+    g = device.geometry
+    p = device.profile
+    payload: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": "mosfet",
+        "polarity": device.polarity.value,
+        "temperature_k": device.temperature_k,
+        "vth_offset_v": device.vth_offset_v,
+        "geometry": {
+            "l_poly_cm": g.l_poly_cm,
+            "width_cm": g.width_cm,
+            "junction_depth_cm": g.junction_depth_cm,
+            "overlap_cm": g.overlap_cm,
+            "extension_cm": g.extension_cm,
+            "gate_height_cm": g.gate_height_cm,
+        },
+        "stack": {
+            "thickness_cm": device.stack.thickness_cm,
+            "rel_permittivity": device.stack.rel_permittivity,
+            "name": device.stack.name,
+        },
+        "profile": {
+            "n_sub_cm3": p.n_sub_cm3,
+            "halo": None,
+        },
+    }
+    if p.halo is not None:
+        payload["profile"]["halo"] = {
+            "peak_cm3": p.halo.peak_cm3,
+            "sigma_x_cm": p.halo.sigma_x_cm,
+            "sigma_y_cm": p.halo.sigma_y_cm,
+            "depth_cm": p.halo.depth_cm,
+        }
+    return payload
+
+
+def device_from_dict(payload: dict[str, Any]) -> MOSFET:
+    """Rebuild a MOSFET from :func:`device_to_dict` output."""
+    _check(payload, "mosfet")
+    geometry = DeviceGeometry(**payload["geometry"])
+    stack = GateStack(**payload["stack"])
+    halo_payload = payload["profile"].get("halo")
+    halo = None if halo_payload is None else HaloImplant(**halo_payload)
+    profile = DopingProfile(n_sub_cm3=payload["profile"]["n_sub_cm3"],
+                            halo=halo)
+    return MOSFET(
+        polarity=Polarity(payload["polarity"]),
+        geometry=geometry,
+        profile=profile,
+        stack=stack,
+        temperature_k=payload["temperature_k"],
+        vth_offset_v=payload.get("vth_offset_v", 0.0),
+    )
+
+
+# -- designs and families ----------------------------------------------------------
+
+def design_to_dict(design: DeviceDesign) -> dict[str, Any]:
+    """Serialise one node's optimised design."""
+    node = design.node
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "design",
+        "strategy": design.strategy,
+        "vdd": design.vdd,
+        "node": {
+            "name": node.name,
+            "node_nm": node.node_nm,
+            "l_poly_nm": node.l_poly_nm,
+            "t_ox_nm": node.t_ox_nm,
+            "vdd_nominal": node.vdd_nominal,
+            "ioff_target_a_per_um": node.ioff_target_a_per_um,
+            "generation": node.generation,
+        },
+        "nfet": device_to_dict(design.nfet),
+        "pfet": device_to_dict(design.pfet),
+    }
+
+
+def design_from_dict(payload: dict[str, Any]) -> DeviceDesign:
+    """Rebuild a design from :func:`design_to_dict` output."""
+    _check(payload, "design")
+    node = NodeSpec(**payload["node"])
+    return DeviceDesign(
+        node=node,
+        nfet=device_from_dict(payload["nfet"]),
+        pfet=device_from_dict(payload["pfet"]),
+        strategy=payload["strategy"],
+        vdd=payload["vdd"],
+    )
+
+
+def family_to_dict(family: DeviceFamily) -> dict[str, Any]:
+    """Serialise a whole strategy family."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "family",
+        "strategy": family.strategy,
+        "designs": [design_to_dict(d) for d in family.designs],
+    }
+
+
+def family_from_dict(payload: dict[str, Any]) -> DeviceFamily:
+    """Rebuild a family from :func:`family_to_dict` output."""
+    _check(payload, "family")
+    designs = tuple(design_from_dict(d) for d in payload["designs"])
+    return DeviceFamily(strategy=payload["strategy"], designs=designs)
+
+
+# -- experiment results -----------------------------------------------------------
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Serialise an experiment result (one-way: for plotting/archival)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "experiment_result",
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "series": [
+            {
+                "label": s.label,
+                "x_label": s.x_label,
+                "y_label": s.y_label,
+                "x": s.x.tolist(),
+                "y": s.y.tolist(),
+            }
+            for s in result.series
+        ],
+        "comparisons": [
+            {
+                "claim": c.claim,
+                "paper_value": c.paper_value,
+                "measured_value": c.measured_value,
+                "unit": c.unit,
+                "holds": c.holds,
+                "note": c.note,
+            }
+            for c in result.comparisons
+        ],
+    }
+
+
+# -- files ------------------------------------------------------------------------
+
+def save_json(payload: dict[str, Any], path: str | pathlib.Path) -> None:
+    """Write a serialised object to a JSON file."""
+    text = json.dumps(payload, indent=2, sort_keys=True,
+                      allow_nan=True)
+    pathlib.Path(path).write_text(text)
+
+
+def load_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Read a serialised object back from a JSON file."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def _check(payload: dict[str, Any], kind: str) -> None:
+    if payload.get("kind") != kind:
+        raise ParameterError(
+            f"expected a {kind!r} payload, got {payload.get('kind')!r}"
+        )
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ParameterError(
+            f"unsupported schema version {payload.get('schema')!r}"
+        )

@@ -1,0 +1,29 @@
+"""Material models: silicon bulk properties, carrier mobility, gate stacks."""
+
+from .silicon import (
+    bandgap_ev,
+    intrinsic_concentration,
+    fermi_potential,
+    built_in_potential,
+    debye_length,
+)
+from .mobility import (
+    MobilityModel,
+    masetti_mobility,
+    effective_mobility,
+)
+from .oxide import GateStack, SIO2, HFO2
+
+__all__ = [
+    "bandgap_ev",
+    "intrinsic_concentration",
+    "fermi_potential",
+    "built_in_potential",
+    "debye_length",
+    "MobilityModel",
+    "masetti_mobility",
+    "effective_mobility",
+    "GateStack",
+    "SIO2",
+    "HFO2",
+]

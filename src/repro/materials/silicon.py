@@ -1,0 +1,101 @@
+"""Bulk silicon properties.
+
+Temperature-dependent bandgap (Varshni), intrinsic carrier
+concentration, Fermi potential of doped silicon, junction built-in
+potential and the extrinsic Debye length.  These feed the
+electrostatics and Poisson-solver layers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import (
+    EG_0K,
+    EPS_SI,
+    K_B,
+    NC_300K,
+    NI_300K,
+    NV_300K,
+    Q,
+    T_ROOM,
+    VARSHNI_ALPHA,
+    VARSHNI_BETA,
+    thermal_voltage,
+)
+from ..errors import ParameterError
+
+
+def bandgap_ev(temperature_k: float = T_ROOM) -> float:
+    """Silicon bandgap in eV via the Varshni relation.
+
+    >>> round(bandgap_ev(300.0), 3)
+    1.125
+    """
+    if temperature_k < 0.0:
+        raise ParameterError(f"temperature must be >= 0, got {temperature_k}")
+    return EG_0K - VARSHNI_ALPHA * temperature_k ** 2 / (temperature_k + VARSHNI_BETA)
+
+
+def intrinsic_concentration(temperature_k: float = T_ROOM) -> float:
+    """Intrinsic carrier concentration n_i(T) in cm^-3.
+
+    Uses the effective-density-of-states form
+    ``n_i = sqrt(Nc*Nv) * (T/300)^1.5 * exp(-Eg/(2kT))`` normalised so
+    that ``n_i(300 K)`` equals the classic 1e10 cm^-3 reference value.
+    """
+    if temperature_k <= 0.0:
+        raise ParameterError(f"temperature must be positive, got {temperature_k}")
+
+    def raw(t: float) -> float:
+        eg = bandgap_ev(t)
+        kt_ev = K_B * t / Q
+        return math.sqrt(NC_300K * NV_300K) * (t / 300.0) ** 1.5 * math.exp(
+            -eg / (2.0 * kt_ev)
+        )
+
+    return NI_300K * raw(temperature_k) / raw(300.0)
+
+
+def fermi_potential(doping_cm3: float, temperature_k: float = T_ROOM) -> float:
+    """Fermi potential ``phi_F = vT * ln(N/n_i)`` of p-type silicon [V].
+
+    For an n-channel MOSFET the body is p-type with acceptor
+    concentration ``doping_cm3``; the same magnitude applies (with sign
+    flipped externally) to n-type bodies.
+
+    >>> 0.45 < fermi_potential(1.5e18) < 0.55
+    True
+    """
+    if doping_cm3 <= 0.0:
+        raise ParameterError(f"doping must be positive, got {doping_cm3}")
+    ni = intrinsic_concentration(temperature_k)
+    if doping_cm3 <= ni:
+        raise ParameterError(
+            f"doping {doping_cm3:.3g} cm^-3 must exceed n_i = {ni:.3g} cm^-3"
+        )
+    return thermal_voltage(temperature_k) * math.log(doping_cm3 / ni)
+
+
+def built_in_potential(
+    n_side_cm3: float, p_side_cm3: float, temperature_k: float = T_ROOM
+) -> float:
+    """Built-in potential of a pn junction [V].
+
+    ``V_bi = vT * ln(Nd * Na / n_i^2)``; used for the source/drain to
+    channel junctions in the short-channel-effect model.
+    """
+    if n_side_cm3 <= 0.0 or p_side_cm3 <= 0.0:
+        raise ParameterError("junction dopings must be positive")
+    ni = intrinsic_concentration(temperature_k)
+    return thermal_voltage(temperature_k) * math.log(
+        n_side_cm3 * p_side_cm3 / ni ** 2
+    )
+
+
+def debye_length(doping_cm3: float, temperature_k: float = T_ROOM) -> float:
+    """Extrinsic Debye length [cm] of silicon doped at ``doping_cm3``."""
+    if doping_cm3 <= 0.0:
+        raise ParameterError(f"doping must be positive, got {doping_cm3}")
+    vt = thermal_voltage(temperature_k)
+    return math.sqrt(EPS_SI * vt / (Q * doping_cm3))

@@ -1,0 +1,72 @@
+"""Scaling strategies: the paper's core contribution.
+
+* :mod:`repro.scaling.generalized` — the Table 1 generalized-scaling
+  algebra (Dennard / Baccarani rules).
+* :mod:`repro.scaling.roadmap` — per-node inputs (L_poly, T_ox, V_dd,
+  leakage targets) for both strategies.
+* :mod:`repro.scaling.supervth` — the performance-driven flow of
+  Fig. 1(c), producing Table 2 device families.
+* :mod:`repro.scaling.subvth` — the proposed energy-optimal flow of
+  Section 3, producing Table 3 device families.
+* :mod:`repro.scaling.metrics` — tau, the delay factor ``C_L S_S`` and
+  energy factor ``C_L S_S^2`` of Eqs. 4-8.
+"""
+
+from .generalized import GeneralizedScaling, CONSTANT_FIELD
+from .roadmap import (
+    NodeSpec,
+    SUPER_VTH_ROADMAP,
+    roadmap_nodes,
+    node_by_name,
+)
+from .strategy import DeviceDesign, DeviceFamily
+from .supervth import SuperVthOptimizer, build_super_vth_family
+from .subvth import (
+    SubVthOptimizer,
+    build_sub_vth_family,
+    optimize_doping_for_length,
+)
+from .metrics import (
+    intrinsic_delay,
+    delay_factor,
+    energy_factor,
+    per_generation_change,
+)
+from .multivth import derive_flavours, VthFlavour
+from .compact_card import ModelCard, extract_card, family_card_table
+from .pareto import sweep_design, dominance_fraction, ParetoCurve
+from .projection import project_super_vth, project_sub_vth, projected_node
+from .sensitivity import headline_under_calibration, calibration
+
+__all__ = [
+    "GeneralizedScaling",
+    "CONSTANT_FIELD",
+    "NodeSpec",
+    "SUPER_VTH_ROADMAP",
+    "roadmap_nodes",
+    "node_by_name",
+    "DeviceDesign",
+    "DeviceFamily",
+    "SuperVthOptimizer",
+    "build_super_vth_family",
+    "SubVthOptimizer",
+    "build_sub_vth_family",
+    "optimize_doping_for_length",
+    "intrinsic_delay",
+    "delay_factor",
+    "energy_factor",
+    "per_generation_change",
+    "derive_flavours",
+    "VthFlavour",
+    "ModelCard",
+    "extract_card",
+    "family_card_table",
+    "sweep_design",
+    "dominance_fraction",
+    "ParetoCurve",
+    "project_super_vth",
+    "project_sub_vth",
+    "projected_node",
+    "headline_under_calibration",
+    "calibration",
+]

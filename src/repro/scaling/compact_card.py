@@ -1,0 +1,140 @@
+"""Compact model cards: PTM-style parameter summaries of a design.
+
+The paper's ref [13] (the Predictive Technology Model) distributes
+technology nodes as human-readable model cards.  This module extracts
+the same style of card from an optimised design — the handful of
+parameters a circuit designer actually consumes — and renders whole
+families as text, so a user can archive or diff technology options
+without touching the physics layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_sig, render_table
+from ..device.mosfet import MOSFET
+from ..errors import ParameterError
+from .strategy import DeviceDesign, DeviceFamily
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """Designer-facing parameters of one device.
+
+    All voltages in volts, currents in A/µm, capacitances in F/µm of
+    width — the conventional card units.
+    """
+
+    label: str
+    polarity: str
+    l_poly_nm: float
+    l_eff_nm: float
+    t_ox_nm: float
+    vth_lin_v: float
+    vth_sat_v: float
+    dibl_mv_per_v: float
+    ss_mv_per_dec: float
+    ioff_a_per_um: float
+    ion_a_per_um: float
+    c_gate_f_per_um: float
+    vdd_v: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Flat dict form (for JSON export or table assembly)."""
+        return {
+            "label": self.label,
+            "polarity": self.polarity,
+            "l_poly_nm": self.l_poly_nm,
+            "l_eff_nm": self.l_eff_nm,
+            "t_ox_nm": self.t_ox_nm,
+            "vth_lin_v": self.vth_lin_v,
+            "vth_sat_v": self.vth_sat_v,
+            "dibl_mv_per_v": self.dibl_mv_per_v,
+            "ss_mv_per_dec": self.ss_mv_per_dec,
+            "ioff_a_per_um": self.ioff_a_per_um,
+            "ion_a_per_um": self.ion_a_per_um,
+            "c_gate_f_per_um": self.c_gate_f_per_um,
+            "vdd_v": self.vdd_v,
+        }
+
+    def render(self) -> str:
+        """Multi-line card text (PTM-style)."""
+        rows = [
+            ("polarity", self.polarity),
+            ("L_poly", f"{self.l_poly_nm:.1f} nm"),
+            ("L_eff", f"{self.l_eff_nm:.1f} nm"),
+            ("T_ox", f"{self.t_ox_nm:.2f} nm"),
+            ("V_th,lin", f"{1000 * self.vth_lin_v:.0f} mV"),
+            ("V_th,sat", f"{1000 * self.vth_sat_v:.0f} mV"),
+            ("DIBL", f"{self.dibl_mv_per_v:.0f} mV/V"),
+            ("S_S", f"{self.ss_mv_per_dec:.1f} mV/dec"),
+            ("I_off", f"{format_sig(self.ioff_a_per_um * 1e12)} pA/um"),
+            ("I_on", f"{format_sig(self.ion_a_per_um * 1e6)} uA/um"),
+            ("C_gate", f"{format_sig(self.c_gate_f_per_um * 1e15)} fF/um"),
+            ("V_dd", f"{self.vdd_v:.2f} V"),
+        ]
+        return render_table(("parameter", "value"), rows,
+                            title=f"* model card: {self.label}")
+
+
+def extract_card(device: MOSFET, vdd: float, label: str = "") -> ModelCard:
+    """Extract a model card from one device at supply ``vdd``.
+
+    >>> from repro.device import nfet
+    >>> card = extract_card(nfet(65, 2.1, 1.2e18, 1.5e18), 1.2, "n90")
+    >>> 60.0 < card.ss_mv_per_dec < 110.0
+    True
+    """
+    if vdd <= 0.0:
+        raise ParameterError("vdd must be positive")
+    vds_lin = 0.05
+    width_um = device.geometry.width_um
+    return ModelCard(
+        label=label or f"{device.polarity.value}",
+        polarity=device.polarity.value,
+        l_poly_nm=device.geometry.l_poly_nm,
+        l_eff_nm=device.geometry.l_eff_nm,
+        t_ox_nm=device.stack.thickness_cm * 1e7,
+        vth_lin_v=device.vth(vds_lin),
+        vth_sat_v=device.vth(vdd),
+        dibl_mv_per_v=device.threshold.dibl_mv_per_v(vdd, vds_lin),
+        ss_mv_per_dec=device.ss_mv_per_dec,
+        ioff_a_per_um=device.i_off_per_um(vdd),
+        ion_a_per_um=device.i_on_per_um(vdd),
+        c_gate_f_per_um=device.capacitance.c_gate / width_um,
+        vdd_v=vdd,
+    )
+
+
+def design_cards(design: DeviceDesign) -> tuple[ModelCard, ModelCard]:
+    """(NFET, PFET) cards for one design, at the design's supply."""
+    label = f"{design.strategy}/{design.node.name}"
+    return (
+        extract_card(design.nfet, design.vdd, f"{label}/nfet"),
+        extract_card(design.pfet, design.vdd, f"{label}/pfet"),
+    )
+
+
+def family_card_table(family: DeviceFamily) -> str:
+    """One-row-per-node summary table of a family's NFET cards."""
+    rows = []
+    for design in family.designs:
+        card = extract_card(design.nfet, design.vdd,
+                            f"{family.strategy}/{design.node.name}")
+        rows.append((
+            design.node.name,
+            f"{card.l_poly_nm:.0f}",
+            f"{card.t_ox_nm:.2f}",
+            f"{1000 * card.vth_sat_v:.0f}",
+            f"{card.dibl_mv_per_v:.0f}",
+            f"{card.ss_mv_per_dec:.1f}",
+            format_sig(card.ioff_a_per_um * 1e12),
+            format_sig(card.ion_a_per_um * 1e6),
+        ))
+    return render_table(
+        ("node", "L_poly nm", "T_ox nm", "Vth,sat mV", "DIBL mV/V",
+         "S_S mV/dec", "Ioff pA/um", "Ion uA/um"),
+        rows,
+        title=f"* family cards: {family.strategy} (NFET)",
+    )

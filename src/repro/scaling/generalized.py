@@ -1,0 +1,109 @@
+"""Generalized scaling theory (the paper's Table 1).
+
+Baccarani's generalized scaling [8]: physical dimensions shrink by
+``1/alpha`` while the peak channel field is *allowed to grow* by
+``epsilon`` per generation, giving
+
+=====================  ==================
+parameter              scaling factor
+=====================  ==================
+physical dimensions    1/alpha
+channel doping N_ch    epsilon * alpha
+voltage V_dd           epsilon / alpha
+area                   1/alpha^2
+delay                  1/alpha
+power                  epsilon^2/alpha^2
+=====================  ==================
+
+Dennard constant-field scaling [7] is the special case
+``epsilon = 1``.  These rules are the yardstick the paper compares real
+(slower-T_ox) scaling against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class GeneralizedScaling:
+    """One generation of generalized scaling.
+
+    Parameters
+    ----------
+    alpha:
+        Dimension scaling factor (> 1 shrinks; the classic value per
+        generation is 1/0.7 ~ 1.43).
+    epsilon:
+        Field growth factor (>= 1; 1 recovers constant-field scaling).
+    """
+
+    alpha: float
+    epsilon: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ParameterError("alpha must be positive")
+        if self.epsilon <= 0.0:
+            raise ParameterError("epsilon must be positive")
+
+    # -- per-parameter factors (multiply a value by these to scale it) ----
+
+    @property
+    def dimension_factor(self) -> float:
+        """Physical dimensions (L_poly, T_ox, W, wires): ``1/alpha``."""
+        return 1.0 / self.alpha
+
+    @property
+    def doping_factor(self) -> float:
+        """Channel doping N_ch: ``epsilon * alpha``."""
+        return self.epsilon * self.alpha
+
+    @property
+    def voltage_factor(self) -> float:
+        """Supply/threshold voltages: ``epsilon / alpha``."""
+        return self.epsilon / self.alpha
+
+    @property
+    def area_factor(self) -> float:
+        """Circuit area: ``1/alpha^2``."""
+        return 1.0 / self.alpha ** 2
+
+    @property
+    def delay_factor(self) -> float:
+        """Gate delay: ``1/alpha``."""
+        return 1.0 / self.alpha
+
+    @property
+    def power_factor(self) -> float:
+        """Power: ``epsilon^2 / alpha^2``."""
+        return (self.epsilon / self.alpha) ** 2
+
+    @property
+    def field_factor(self) -> float:
+        """Peak channel field: ``epsilon`` (consistency check)."""
+        return self.voltage_factor / self.dimension_factor
+
+    def table(self) -> dict[str, float]:
+        """The Table 1 rules as a name -> factor mapping."""
+        return {
+            "physical_dimensions": self.dimension_factor,
+            "channel_doping": self.doping_factor,
+            "vdd": self.voltage_factor,
+            "area": self.area_factor,
+            "delay": self.delay_factor,
+            "power": self.power_factor,
+        }
+
+    def apply(self, generations: int = 1) -> "GeneralizedScaling":
+        """Compose this rule over multiple generations."""
+        if generations < 1:
+            raise ParameterError("generations must be >= 1")
+        return GeneralizedScaling(alpha=self.alpha ** generations,
+                                  epsilon=self.epsilon ** generations)
+
+
+#: Dennard constant-field scaling at the classic 0.7x shrink.
+CONSTANT_FIELD = GeneralizedScaling(alpha=1.0 / 0.7, epsilon=1.0)

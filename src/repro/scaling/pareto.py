@@ -1,0 +1,123 @@
+"""Energy-delay Pareto exploration of a technology node.
+
+The paper fixes one operating point per strategy (minimum energy); a
+designer choosing a technology wants the whole energy-delay trade
+curve.  This module sweeps the supply voltage of a design's inverter
+chain, records (delay, energy) pairs, extracts the Pareto-efficient
+subset, and compares strategies: the proposed sub-V_th scaling should
+*dominate* the super-V_th curve over the low-energy region at scaled
+nodes — a strictly stronger statement than the paper's single-point
+comparisons, and the `ext_pareto`-style analysis a downstream adopter
+would run first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.chain import InverterChain
+from ..errors import ParameterError
+from .strategy import DeviceDesign
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One supply point on the energy-delay plane."""
+
+    vdd: float
+    delay_s: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class ParetoCurve:
+    """The V_dd sweep of one design and its efficient frontier.
+
+    Attributes
+    ----------
+    points:
+        All swept points, ascending in V_dd.
+    frontier:
+        The Pareto-efficient subset (no other point is faster *and*
+        lower-energy), ascending in delay.
+    """
+
+    label: str
+    points: tuple[ParetoPoint, ...]
+    frontier: tuple[ParetoPoint, ...]
+
+    def energy_at_delay(self, delay_s: float) -> float:
+        """Frontier energy at a given delay budget [J].
+
+        Linear interpolation along the frontier; delays outside the
+        frontier range raise.
+        """
+        delays = np.array([p.delay_s for p in self.frontier])
+        energies = np.array([p.energy_j for p in self.frontier])
+        if not delays.min() <= delay_s <= delays.max():
+            raise ParameterError(
+                f"delay {delay_s:.3g}s outside frontier range "
+                f"[{delays.min():.3g}, {delays.max():.3g}]s"
+            )
+        return float(np.interp(delay_s, delays, energies))
+
+
+def _pareto_filter(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Keep points not dominated in (delay, energy), sorted by delay."""
+    ordered = sorted(points, key=lambda p: (p.delay_s, p.energy_j))
+    frontier: list[ParetoPoint] = []
+    best_energy = np.inf
+    for point in ordered:
+        if point.energy_j < best_energy:
+            frontier.append(point)
+            best_energy = point.energy_j
+    return frontier
+
+
+def sweep_design(design: DeviceDesign, vdd_lo: float = 0.15,
+                 vdd_hi: float = 0.60, n_points: int = 19,
+                 n_stages: int = 30, activity: float = 0.1,
+                 label: str | None = None) -> ParetoCurve:
+    """Sweep a design's chain over V_dd and build its Pareto curve.
+
+    Delay is the chain critical path, energy the per-cycle total — the
+    same testbench as the paper's Figs. 6/12, just swept instead of
+    optimised.
+    """
+    if not 0.0 < vdd_lo < vdd_hi:
+        raise ParameterError("need 0 < vdd_lo < vdd_hi")
+    if n_points < 3:
+        raise ParameterError("need at least 3 sweep points")
+    points = []
+    for vdd in np.linspace(vdd_lo, vdd_hi, n_points):
+        chain = InverterChain(design.inverter(float(vdd)),
+                              n_stages=n_stages, activity=activity)
+        energy = chain.energy_per_cycle()
+        points.append(ParetoPoint(
+            vdd=float(vdd),
+            delay_s=energy.cycle_time_s,
+            energy_j=energy.total_j,
+        ))
+    name = label or f"{design.strategy}/{design.node.name}"
+    return ParetoCurve(label=name, points=tuple(points),
+                       frontier=tuple(_pareto_filter(points)))
+
+
+def dominance_fraction(winner: ParetoCurve, loser: ParetoCurve,
+                       n_probe: int = 25) -> float:
+    """Fraction of the shared delay range where ``winner`` needs less
+    energy than ``loser`` (1.0 = full dominance)."""
+    w_delays = [p.delay_s for p in winner.frontier]
+    l_delays = [p.delay_s for p in loser.frontier]
+    lo = max(min(w_delays), min(l_delays))
+    hi = min(max(w_delays), max(l_delays))
+    if hi <= lo:
+        raise ParameterError("frontiers share no delay range")
+    probes = np.geomspace(lo, hi, n_probe)
+    wins = sum(
+        1 for d in probes
+        if winner.energy_at_delay(float(d)) < loser.energy_at_delay(float(d))
+    )
+    return wins / n_probe

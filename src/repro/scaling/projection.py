@@ -1,0 +1,106 @@
+"""Projection beyond the paper's 32nm horizon (22nm / 16nm).
+
+The paper closes: "with very simple process modifications, sub-V_th
+circuits may be able to reliably scale deep into the nanometer
+regime."  This module extrapolates the roadmap two more generations
+with the same rates (30 %/gen L_poly, 10 %/gen T_ox, 100 mV/gen V_dd,
++25 %/gen super-V_th leakage budget) and runs both strategy optimisers
+there, so the claim can be tested rather than asserted.
+
+The super-V_th flow is expected to strain: at L_poly ≈ 15 nm and
+T_ox ≈ 1.4 nm the halo solve needs extreme doping (or fails outright),
+while the sub-V_th flow keeps trading gate length for slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OptimizationError
+from .roadmap import (
+    IOFF_GROWTH_PER_GEN,
+    L_POLY_SHRINK_PER_GEN,
+    NodeSpec,
+    T_OX_SHRINK_PER_GEN,
+    node_by_name,
+)
+from .strategy import DeviceDesign
+from .subvth import SubVthOptimizer
+from .supervth import build_super_vth_design
+
+#: Names given to the projected nodes, in order past 32nm.
+PROJECTED_NODE_NAMES: tuple[str, ...] = ("22nm", "16nm")
+
+
+def projected_node(generations_past_32nm: int) -> NodeSpec:
+    """Extrapolate the roadmap ``generations_past_32nm`` nodes onward.
+
+    >>> projected_node(1).name
+    '22nm'
+    >>> round(projected_node(1).l_poly_nm, 1)
+    15.4
+    """
+    if generations_past_32nm < 1:
+        raise ValueError("need at least one generation past 32nm")
+    base = node_by_name("32nm")
+    g = generations_past_32nm
+    name = (PROJECTED_NODE_NAMES[g - 1]
+            if g <= len(PROJECTED_NODE_NAMES) else f"gen+{g}")
+    return NodeSpec(
+        name=name,
+        node_nm=base.node_nm * 0.7 ** g,
+        l_poly_nm=base.l_poly_nm * (1.0 - L_POLY_SHRINK_PER_GEN) ** g,
+        t_ox_nm=base.t_ox_nm * (1.0 - T_OX_SHRINK_PER_GEN) ** g,
+        vdd_nominal=max(base.vdd_nominal - 0.1 * g, 0.5),
+        ioff_target_a_per_um=(base.ioff_target_a_per_um
+                              * (1.0 + IOFF_GROWTH_PER_GEN) ** g),
+        generation=base.generation + g,
+    )
+
+
+@dataclass(frozen=True)
+class ProjectionOutcome:
+    """What happened when a strategy was pushed to a projected node.
+
+    ``design`` is None when the optimiser could not satisfy its
+    constraints (the strategy "ran out" at that node); ``failure``
+    holds the reason.
+    """
+
+    node: NodeSpec
+    strategy: str
+    design: DeviceDesign | None
+    failure: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the strategy produced a device at this node."""
+        return self.design is not None
+
+
+def project_super_vth(generations: int = 2) -> list[ProjectionOutcome]:
+    """Run the super-V_th flow on the projected nodes."""
+    outcomes = []
+    for g in range(1, generations + 1):
+        node = projected_node(g)
+        try:
+            design = build_super_vth_design(node)
+            outcomes.append(ProjectionOutcome(node, "super-vth", design))
+        except OptimizationError as exc:
+            outcomes.append(ProjectionOutcome(node, "super-vth", None,
+                                              failure=str(exc)))
+    return outcomes
+
+
+def project_sub_vth(generations: int = 2) -> list[ProjectionOutcome]:
+    """Run the sub-V_th flow on the projected nodes."""
+    outcomes = []
+    for g in range(1, generations + 1):
+        node = projected_node(g)
+        try:
+            design = SubVthOptimizer(node).optimize()
+            outcomes.append(ProjectionOutcome(node, "sub-vth", design))
+        except OptimizationError as exc:
+            outcomes.append(ProjectionOutcome(node, "sub-vth", None,
+                                              failure=str(exc)))
+    return outcomes

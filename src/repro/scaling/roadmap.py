@@ -1,0 +1,104 @@
+"""Per-node scaling inputs (the paper's published-industry-data layer).
+
+The paper fixes, per technology node:
+
+* ``L_poly`` — shrinking 30 %/generation (Table 2: 65/46/32/22 nm),
+* ``T_ox``  — shrinking 10 %/generation (2.10/1.89/1.70/1.53 nm),
+* ``V_dd``  — stepping down 100 mV/generation (1.2/1.1/1.0/0.9 V),
+* the leakage budget — 100 pA/µm at 90nm growing 25 %/generation under
+  the super-V_th (LSTP-like) strategy, or pinned at 100 pA/µm under the
+  proposed sub-V_th strategy.
+
+A 130nm node (extrapolated backwards with the same rates) is included
+because Fig. 12's V_min discussion references it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+#: L_poly shrink rate per generation under performance-driven scaling.
+L_POLY_SHRINK_PER_GEN: float = 0.30
+#: T_ox shrink rate per generation (the paper's headline observation).
+T_OX_SHRINK_PER_GEN: float = 0.10
+#: Leakage-budget growth per generation under the super-V_th strategy.
+IOFF_GROWTH_PER_GEN: float = 0.25
+#: The sub-V_th strategy's fixed leakage target [A/µm].
+IOFF_SUB_VTH_A_PER_UM: float = 100e-12
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Fixed inputs for one technology node.
+
+    Attributes
+    ----------
+    name:
+        Node label ("90nm", ...).
+    node_nm:
+        Nominal node dimension [nm].
+    l_poly_nm:
+        Etched gate length under performance-driven scaling [nm].
+    t_ox_nm:
+        Gate oxide physical thickness [nm].
+    vdd_nominal:
+        Nominal (super-V_th) supply [V].
+    ioff_target_a_per_um:
+        Leakage budget for the super-V_th optimiser [A/µm].
+    generation:
+        Index from the 90nm reference (90nm = 0; 130nm = -1).
+    """
+
+    name: str
+    node_nm: float
+    l_poly_nm: float
+    t_ox_nm: float
+    vdd_nominal: float
+    ioff_target_a_per_um: float
+    generation: int
+
+    def __post_init__(self) -> None:
+        if min(self.node_nm, self.l_poly_nm, self.t_ox_nm,
+               self.vdd_nominal, self.ioff_target_a_per_um) <= 0.0:
+            raise ParameterError(f"non-positive entry in node {self.name!r}")
+
+
+#: The paper's Table 2 input rows (L_poly, T_ox, V_dd are inputs; doping
+#: is what the optimiser produces).  130nm extrapolated at the same rates.
+SUPER_VTH_ROADMAP: tuple[NodeSpec, ...] = (
+    NodeSpec("130nm", 130.0, 93.0, 2.33, 1.3, 80e-12, -1),
+    NodeSpec("90nm", 90.0, 65.0, 2.10, 1.2, 100e-12, 0),
+    NodeSpec("65nm", 65.0, 46.0, 1.89, 1.1, 125e-12, 1),
+    NodeSpec("45nm", 45.0, 32.0, 1.70, 1.0, 156e-12, 2),
+    NodeSpec("32nm", 32.0, 22.0, 1.53, 0.9, 195e-12, 3),
+)
+
+#: The paper's primary evaluation span.
+PRIMARY_NODES: tuple[str, ...] = ("90nm", "65nm", "45nm", "32nm")
+
+
+def roadmap_nodes(include_130nm: bool = False) -> tuple[NodeSpec, ...]:
+    """The evaluation nodes, optionally with the 130nm back-extrapolation."""
+    if include_130nm:
+        return SUPER_VTH_ROADMAP
+    return tuple(n for n in SUPER_VTH_ROADMAP if n.name in PRIMARY_NODES)
+
+
+def node_by_name(name: str) -> NodeSpec:
+    """Look up a node spec by label.
+
+    >>> node_by_name("45nm").l_poly_nm
+    32.0
+    """
+    for node in SUPER_VTH_ROADMAP:
+        if node.name == name:
+            return node
+    known = ", ".join(n.name for n in SUPER_VTH_ROADMAP)
+    raise ParameterError(f"unknown node {name!r}; known nodes: {known}")
+
+
+def sub_vth_ioff_target(_node: NodeSpec) -> float:
+    """The sub-V_th strategy's leakage target (constant across nodes)."""
+    return IOFF_SUB_VTH_A_PER_UM

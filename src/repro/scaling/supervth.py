@@ -1,0 +1,157 @@
+"""The super-V_th (performance-driven) scaling flow — paper Fig. 1(c).
+
+Per node, with ``L_poly``, ``T_ox`` and ``V_dd`` fixed by the roadmap,
+the remaining knobs ``N_sub`` and ``N_p,halo`` are selected by the
+paper's iterative heuristic:
+
+1. ``N_sub`` is set by the **long-channel** device (where halo doping
+   is largely unnecessary): find the substrate doping at which a long
+   version of the device just meets the leakage budget.
+2. ``N_p,halo`` is set by the **short-channel** device: find the halo
+   peak at which the actual (short) device meets the same budget —
+   i.e. the halo exactly cancels the short-channel V_th roll-off the
+   long-channel doping cannot.
+
+Delay is the objective and leakage the constraint; since sub- and
+super-V_th drive both increase monotonically as V_th falls, the
+delay-minimal design under an I_off budget is the one where the budget
+binds — which is precisely what the two root-solves enforce.  The
+result reproduces the paper's Table 2 trends: doping and V_th,sat grow
+each generation while S_S degrades.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from ..device.mosfet import MOSFET, Polarity, nfet as build_nfet, pfet as build_pfet
+from ..errors import OptimizationError
+from .roadmap import NodeSpec, roadmap_nodes
+from .strategy import DeviceDesign, DeviceFamily
+
+#: Gate-length multiple used for the "long channel" reference device.
+LONG_CHANNEL_MULTIPLE: float = 8.0
+#: Substrate-doping search bounds [cm^-3].
+N_SUB_BOUNDS: tuple[float, float] = (5e16, 1.5e19)
+#: Halo-peak search bounds [cm^-3].
+N_HALO_BOUNDS: tuple[float, float] = (1e15, 8e19)
+#: Default PFET width multiple (mobility compensation).
+PFET_WIDTH_RATIO: float = 2.0
+
+
+def _builder(polarity: Polarity):
+    return build_nfet if polarity is Polarity.NFET else build_pfet
+
+
+@dataclass(frozen=True)
+class SuperVthOptimizer:
+    """Solves the Fig. 1(c) doping selection for one node and polarity.
+
+    Parameters
+    ----------
+    node:
+        Roadmap inputs (L_poly, T_ox, V_dd, I_off budget).
+    polarity:
+        Device type to optimise.
+    width_um:
+        Device width; the leakage budget is per µm so the width only
+        affects absolute currents.
+    """
+
+    node: NodeSpec
+    polarity: Polarity = Polarity.NFET
+    width_um: float = 1.0
+
+    def _device(self, n_sub: float, n_p_halo: float,
+                l_poly_nm: float | None = None) -> MOSFET:
+        build = _builder(self.polarity)
+        return build(
+            l_poly_nm=self.node.l_poly_nm if l_poly_nm is None else l_poly_nm,
+            t_ox_nm=self.node.t_ox_nm,
+            n_sub_cm3=n_sub,
+            n_p_halo_cm3=n_p_halo,
+            width_um=self.width_um,
+            # Parasitics (junction depth, overlap, halo geometry) follow
+            # the *short* device's L_poly — the super-V_th proportional
+            # convention — even for the long-channel reference.
+            reference_nm=self.node.l_poly_nm,
+        )
+
+    def _ioff_per_um(self, device: MOSFET) -> float:
+        return device.i_off_per_um(self.node.vdd_nominal)
+
+    # -- the two root solves -------------------------------------------------
+
+    def solve_substrate(self) -> float:
+        """Step 1: N_sub from the long-channel leakage condition."""
+        target = self.node.ioff_target_a_per_um
+        long_l = LONG_CHANNEL_MULTIPLE * self.node.l_poly_nm
+
+        def residual(log_n: float) -> float:
+            dev = self._device(10.0 ** log_n, 0.0, l_poly_nm=long_l)
+            return math.log(self._ioff_per_um(dev) / target)
+
+        lo, hi = (math.log10(b) for b in N_SUB_BOUNDS)
+        r_lo, r_hi = residual(lo), residual(hi)
+        if r_lo < 0.0:
+            raise OptimizationError(
+                f"{self.node.name}: long-channel leakage below target even "
+                "at minimum doping — budget unreachable from above"
+            )
+        if r_hi > 0.0:
+            raise OptimizationError(
+                f"{self.node.name}: cannot meet leakage budget "
+                f"{target:.3g} A/um with N_sub <= {N_SUB_BOUNDS[1]:.3g}"
+            )
+        return 10.0 ** brentq(residual, lo, hi, xtol=1e-6)
+
+    def solve_halo(self, n_sub: float) -> float:
+        """Step 2: N_p,halo from the short-channel leakage condition."""
+        target = self.node.ioff_target_a_per_um
+
+        def residual(log_n: float) -> float:
+            dev = self._device(n_sub, 10.0 ** log_n)
+            return math.log(self._ioff_per_um(dev) / target)
+
+        lo, hi = (math.log10(b) for b in N_HALO_BOUNDS)
+        if residual(lo) <= 0.0:
+            # The short device already meets the budget: no halo needed.
+            return N_HALO_BOUNDS[0]
+        if residual(hi) > 0.0:
+            raise OptimizationError(
+                f"{self.node.name}: halo cannot rescue the short-channel "
+                "leakage — L_poly too short for this T_ox"
+            )
+        return 10.0 ** brentq(residual, lo, hi, xtol=1e-6)
+
+    def optimize(self) -> MOSFET:
+        """Run the full Fig. 1(c) loop and return the optimised device."""
+        n_sub = self.solve_substrate()
+        n_p_halo = self.solve_halo(n_sub)
+        return self._device(n_sub, n_p_halo)
+
+
+def build_super_vth_design(node: NodeSpec,
+                           pfet_width_um: float = PFET_WIDTH_RATIO
+                           ) -> DeviceDesign:
+    """Optimise the NFET/PFET pair for one node."""
+    n_dev = SuperVthOptimizer(node, Polarity.NFET, width_um=1.0).optimize()
+    p_dev = SuperVthOptimizer(node, Polarity.PFET,
+                              width_um=pfet_width_um).optimize()
+    return DeviceDesign(node=node, nfet=n_dev, pfet=p_dev,
+                        strategy="super-vth", vdd=node.vdd_nominal)
+
+
+def build_super_vth_family(include_130nm: bool = False) -> DeviceFamily:
+    """The paper's Table 2 device family (one design per node).
+
+    >>> family = build_super_vth_family()
+    >>> family.node_names()
+    ('90nm', '65nm', '45nm', '32nm')
+    """
+    designs = tuple(build_super_vth_design(node)
+                    for node in roadmap_nodes(include_130nm))
+    return DeviceFamily(strategy="super-vth", designs=designs)

@@ -1,0 +1,44 @@
+"""Numerical device-simulation substrate (the MEDICI substitute).
+
+The paper evaluates its devices in MEDICI, a commercial 2-D TCAD
+simulator we cannot ship.  This package provides the replacement used
+throughout the reproduction:
+
+* :mod:`repro.tcad.grid` — nonuniform 1-D meshes,
+* :mod:`repro.tcad.poisson1d` — a Newton solver for the nonlinear 1-D
+  Poisson equation through the vertical MOS stack with an arbitrary
+  vertical doping profile (halo included),
+* :mod:`repro.tcad.charge` — inversion/depletion sheet charges from the
+  converged potential,
+* :mod:`repro.tcad.quasi2d` — the quasi-2-D characteristic-length model
+  that injects short-channel effects into the 1-D solution,
+* :mod:`repro.tcad.extract` — V_th / S_S / DIBL extraction from I-V
+  data, mirroring what one does with MEDICI output decks,
+* :mod:`repro.tcad.simulator` — :class:`DeviceSimulator`, the top-level
+  "run a device, get curves" API.
+"""
+
+from .grid import Mesh1D
+from .poisson1d import PoissonSolution, solve_mos_poisson
+from .charge import sheet_charges
+from .quasi2d import sce_vth_shift
+from .extract import (
+    extract_vth_constant_current,
+    extract_ss,
+    extract_dibl,
+    IdVgCurve,
+)
+from .simulator import DeviceSimulator
+
+__all__ = [
+    "Mesh1D",
+    "PoissonSolution",
+    "solve_mos_poisson",
+    "sheet_charges",
+    "sce_vth_shift",
+    "extract_vth_constant_current",
+    "extract_ss",
+    "extract_dibl",
+    "IdVgCurve",
+    "DeviceSimulator",
+]

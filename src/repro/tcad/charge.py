@@ -1,0 +1,74 @@
+"""Sheet charges and small-signal quantities from a Poisson solution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import Q
+from .poisson1d import PoissonSolution
+
+
+@dataclass(frozen=True)
+class SheetCharges:
+    """Integrated sheet charges under the gate [C/cm^2].
+
+    Attributes
+    ----------
+    inversion:
+        Mobile electron sheet charge (positive magnitude).
+    depletion:
+        Ionised-acceptor depletion sheet charge (positive magnitude).
+    total:
+        Net semiconductor sheet charge magnitude.
+    """
+
+    inversion: float
+    depletion: float
+    total: float
+
+
+def sheet_charges(solution: PoissonSolution) -> SheetCharges:
+    """Integrate carrier and depletion charges over depth.
+
+    The inversion charge is the integral of the electron excess over
+    its (negligible) bulk value; the depletion charge integrates the
+    uncompensated acceptors ``N_A - p`` where holes are depleted.
+    """
+    y = solution.mesh.nodes_cm
+    n_e = solution.electron_cm3
+    p_h = solution.hole_cm3
+    n_a = solution.doping_cm3
+
+    n_bulk = n_e[-1]
+    inversion = Q * float(np.trapezoid(np.maximum(n_e - n_bulk, 0.0), y))
+    depletion = Q * float(np.trapezoid(np.maximum(n_a - p_h, 0.0), y))
+    return SheetCharges(inversion=inversion, depletion=depletion,
+                        total=inversion + depletion)
+
+
+def surface_field_v_cm(solution: PoissonSolution) -> float:
+    """Electric field at the silicon surface [V/cm] (into the bulk)."""
+    y = solution.mesh.nodes_cm
+    psi = solution.psi_v
+    return float(-(psi[1] - psi[0]) / (y[1] - y[0]))
+
+
+def depletion_depth_cm(solution: PoissonSolution,
+                       fraction: float = 0.10) -> float:
+    """Depth at which hole depletion has recovered to ``1 - fraction``.
+
+    A numerical analogue of the textbook depletion width: the first
+    depth where ``p >= (1 - fraction) * N_A`` holds and keeps holding.
+    """
+    p_h = solution.hole_cm3
+    n_a = solution.doping_cm3
+    y = solution.mesh.nodes_cm
+    recovered = p_h >= (1.0 - fraction) * n_a
+    idx = np.argmax(recovered)
+    if not recovered.any():
+        return float(y[-1])
+    if idx == 0:
+        return 0.0
+    return float(y[idx])

@@ -1,0 +1,116 @@
+"""Parameter extraction from simulated I-V curves.
+
+Mirrors the post-processing one applies to MEDICI (or measurement)
+output: constant-current threshold voltage, log-slope inverse
+subthreshold swing, DIBL from a linear/saturation curve pair, and the
+on/off currents the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class IdVgCurve:
+    """A transfer (I_d vs V_gs) curve at fixed V_ds.
+
+    Attributes
+    ----------
+    vgs:
+        Gate voltages [V], strictly increasing.
+    ids:
+        Drain currents [A], positive.
+    vds:
+        Drain bias of the sweep [V].
+    width_um:
+        Device width, for per-µm normalisation.
+    """
+
+    vgs: np.ndarray
+    ids: np.ndarray
+    vds: float
+    width_um: float = 1.0
+
+    def __post_init__(self) -> None:
+        vgs = np.asarray(self.vgs, dtype=float)
+        ids = np.asarray(self.ids, dtype=float)
+        if vgs.ndim != 1 or vgs.size < 4 or ids.shape != vgs.shape:
+            raise ParameterError("curve needs matching 1-D arrays, >= 4 points")
+        if np.any(np.diff(vgs) <= 0.0):
+            raise ParameterError("vgs must be strictly increasing")
+        if np.any(ids <= 0.0):
+            raise ParameterError("currents must be positive for extraction")
+        object.__setattr__(self, "vgs", vgs)
+        object.__setattr__(self, "ids", ids)
+
+    @property
+    def i_off(self) -> float:
+        """Current at the lowest swept gate voltage [A]."""
+        return float(self.ids[0])
+
+    def current_at(self, vgs: float) -> float:
+        """Log-linear interpolated current at an arbitrary V_gs [A]."""
+        if vgs < self.vgs[0] or vgs > self.vgs[-1]:
+            raise ParameterError("vgs outside the swept range")
+        return float(np.exp(np.interp(vgs, self.vgs, np.log(self.ids))))
+
+
+def extract_vth_constant_current(curve: IdVgCurve,
+                                 criterion_a: float) -> float:
+    """Constant-current V_th: the V_gs where I_d crosses ``criterion_a``.
+
+    Uses log-linear interpolation between bracketing sweep points.
+    """
+    if criterion_a <= 0.0:
+        raise ParameterError("criterion current must be positive")
+    log_i = np.log(curve.ids)
+    log_c = np.log(criterion_a)
+    if log_c < log_i[0] or log_c > log_i[-1]:
+        raise ParameterError(
+            f"criterion {criterion_a:.3g} A outside curve range "
+            f"[{curve.ids[0]:.3g}, {curve.ids[-1]:.3g}] A"
+        )
+    return float(np.interp(log_c, log_i, curve.vgs))
+
+
+def extract_ss(curve: IdVgCurve, decade_low: float = 3.0,
+               decade_high: float = 1.0) -> float:
+    """Inverse subthreshold slope [V/dec] from the log-linear region.
+
+    Fits ``V_gs`` against ``log10(I_d)`` over the window from
+    ``decade_low`` decades below to ``decade_high`` decades below the
+    curve maximum — the standard swing-extraction recipe.
+    """
+    if decade_low <= decade_high:
+        raise ParameterError("decade_low must exceed decade_high")
+    log_i = np.log10(curve.ids)
+    top = log_i[-1]
+    mask = (log_i >= top - decade_low) & (log_i <= top - decade_high)
+    if np.count_nonzero(mask) < 3:
+        raise ParameterError("not enough points in the subthreshold window")
+    slope, _ = np.polyfit(log_i[mask], curve.vgs[mask], 1)
+    if slope <= 0.0:
+        raise ParameterError("non-physical (non-increasing) transfer curve")
+    return float(slope)
+
+
+def extract_dibl(lin_curve: IdVgCurve, sat_curve: IdVgCurve,
+                 criterion_a: float) -> float:
+    """DIBL [mV/V] from a linear/saturation pair of transfer curves."""
+    if sat_curve.vds <= lin_curve.vds:
+        raise ParameterError("saturation curve must have the larger vds")
+    vth_lin = extract_vth_constant_current(lin_curve, criterion_a)
+    vth_sat = extract_vth_constant_current(sat_curve, criterion_a)
+    return 1000.0 * (vth_lin - vth_sat) / (sat_curve.vds - lin_curve.vds)
+
+
+def on_off_from_curve(curve: IdVgCurve, vdd: float) -> tuple[float, float]:
+    """(I_on, I_off) at supply ``vdd`` from a saturation transfer curve."""
+    i_on = curve.current_at(vdd)
+    i_off = curve.current_at(0.0) if curve.vgs[0] < 0.0 else curve.i_off
+    return i_on, i_off

@@ -1,0 +1,95 @@
+"""Nonuniform 1-D meshes for the vertical Poisson problem.
+
+The inversion layer lives in the first nanometre below the Si/SiO2
+interface while the depletion region extends tens of nanometres, so a
+geometrically graded mesh (fine at the surface, coarse at depth) gives
+accurate charges with few nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Mesh1D:
+    """A strictly increasing 1-D mesh starting at 0 (the interface).
+
+    Attributes
+    ----------
+    nodes_cm:
+        Node coordinates [cm]; ``nodes_cm[0] == 0``.
+    """
+
+    nodes_cm: np.ndarray
+
+    def __post_init__(self) -> None:
+        nodes = np.asarray(self.nodes_cm, dtype=float)
+        if nodes.ndim != 1 or nodes.size < 3:
+            raise ParameterError("mesh needs at least 3 nodes")
+        if nodes[0] != 0.0:
+            raise ParameterError("mesh must start at the interface (0)")
+        if np.any(np.diff(nodes) <= 0.0):
+            raise ParameterError("mesh nodes must be strictly increasing")
+        object.__setattr__(self, "nodes_cm", nodes)
+
+    @classmethod
+    def geometric(cls, depth_cm: float, n_nodes: int = 201,
+                  first_step_cm: float = 1.0e-8) -> "Mesh1D":
+        """Geometrically graded mesh over [0, depth] with a fine surface step.
+
+        The growth ratio is solved so that ``n_nodes - 1`` steps starting
+        at ``first_step_cm`` exactly span ``depth_cm``.
+        """
+        if depth_cm <= 0.0:
+            raise ParameterError("depth must be positive")
+        if n_nodes < 3:
+            raise ParameterError("need at least 3 nodes")
+        if first_step_cm <= 0.0 or first_step_cm >= depth_cm:
+            raise ParameterError("first step must be in (0, depth)")
+        n_steps = n_nodes - 1
+
+        def span(ratio: float) -> float:
+            if abs(ratio - 1.0) < 1e-12:
+                return first_step_cm * n_steps
+            return first_step_cm * (ratio ** n_steps - 1.0) / (ratio - 1.0)
+
+        lo, hi = 1.0, 2.0
+        while span(hi) < depth_cm:
+            hi *= 1.5
+            if hi > 1e3:
+                raise ParameterError("cannot grade mesh: depth too large")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if span(mid) < depth_cm:
+                lo = mid
+            else:
+                hi = mid
+        ratio = 0.5 * (lo + hi)
+        steps = first_step_cm * ratio ** np.arange(n_steps)
+        nodes = np.concatenate(([0.0], np.cumsum(steps)))
+        nodes[-1] = depth_cm
+        return cls(nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of mesh nodes."""
+        return self.nodes_cm.size
+
+    @property
+    def spacings_cm(self) -> np.ndarray:
+        """Inter-node spacings, length ``n_nodes - 1``."""
+        return np.diff(self.nodes_cm)
+
+    def control_volumes_cm(self) -> np.ndarray:
+        """Finite-volume cell sizes (half-cells at the boundaries)."""
+        h = self.spacings_cm
+        volumes = np.empty(self.n_nodes)
+        volumes[0] = 0.5 * h[0]
+        volumes[-1] = 0.5 * h[-1]
+        volumes[1:-1] = 0.5 * (h[:-1] + h[1:])
+        return volumes

@@ -1,0 +1,202 @@
+"""Nonlinear 1-D Poisson solver for the vertical MOS stack.
+
+Solves, by damped Newton iteration on a finite-volume discretisation,
+
+``eps_si * d^2 psi / dy^2 = -q * (p(psi) - n(psi) - N_A(y))``
+
+for the band bending ``psi(y)`` in the silicon under the gate, with
+
+* a Robin boundary at the Si/SiO2 interface enforcing displacement
+  continuity with the oxide field
+  ``eps_ox (V_g - V_FB - psi_s)/T_ox = -eps_si dpsi/dy|_0``, and
+* ``psi = 0`` deep in the neutral bulk.
+
+Carriers are in equilibrium with the (grounded) bulk:
+``p = n_i exp((phi_B - psi)/v_T)``, ``n = n_i exp((psi - phi_B)/v_T)``
+where ``phi_B`` is the bulk Fermi potential.  The doping profile
+``N_A(y)`` is arbitrary — in this library it is the halo-augmented
+vertical cut produced by
+:meth:`repro.device.doping.DopingProfile.vertical_profile`, which is
+precisely what makes this a (1-D) stand-in for the paper's MEDICI
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from ..constants import EPS_SI, Q, T_ROOM, thermal_voltage
+from ..errors import ConvergenceError, ParameterError
+from ..materials.oxide import GateStack
+from ..materials.silicon import intrinsic_concentration
+from .grid import Mesh1D
+
+
+@dataclass(frozen=True)
+class PoissonSolution:
+    """Converged solution of the vertical Poisson problem.
+
+    Attributes
+    ----------
+    mesh:
+        The mesh the problem was solved on.
+    psi_v:
+        Band bending at each node [V].
+    vg:
+        Applied gate voltage [V].
+    surface_potential_v:
+        ``psi(0)``, the surface potential [V].
+    electron_cm3 / hole_cm3:
+        Carrier densities at each node [cm^-3].
+    doping_cm3:
+        Acceptor profile used [cm^-3].
+    iterations:
+        Newton iterations to convergence.
+    """
+
+    mesh: Mesh1D
+    psi_v: np.ndarray
+    vg: float
+    surface_potential_v: float
+    electron_cm3: np.ndarray
+    hole_cm3: np.ndarray
+    doping_cm3: np.ndarray
+    iterations: int
+    channel_potential_v: float = 0.0
+
+
+def solve_mos_poisson(
+    mesh: Mesh1D,
+    doping_cm3: np.ndarray,
+    stack: GateStack,
+    vg: float,
+    vfb: float,
+    temperature_k: float = T_ROOM,
+    initial_psi: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+    channel_potential_v: float = 0.0,
+) -> PoissonSolution:
+    """Solve the MOS Poisson problem at one gate bias.
+
+    Parameters
+    ----------
+    mesh:
+        Vertical mesh (node 0 at the interface).
+    doping_cm3:
+        Acceptor concentration at each mesh node (p-type body).
+    stack:
+        Gate dielectric.
+    vg:
+        Gate voltage [V].
+    vfb:
+        Flat-band voltage [V].
+    initial_psi:
+        Optional warm start (e.g. the solution at the previous bias in
+        a sweep); dramatically cuts Newton iterations.
+    tol:
+        Convergence tolerance on the max |update| in volts.
+    channel_potential_v:
+        Electron quasi-Fermi shift ``V_ch`` [V].  ``0`` models the
+        source end of the channel; passing ``V_ds`` models the drain
+        end, which is how the simulator forms the drain-end inversion
+        charge for the charge-sheet current.
+
+    Returns
+    -------
+    PoissonSolution
+
+    Raises
+    ------
+    ConvergenceError
+        If the damped Newton iteration fails to converge.
+    """
+    nodes = mesh.nodes_cm
+    n_nodes = nodes.size
+    doping = np.asarray(doping_cm3, dtype=float)
+    if doping.shape != nodes.shape:
+        raise ParameterError("doping profile must match the mesh")
+    if np.any(doping <= 0.0):
+        raise ParameterError("acceptor profile must be positive everywhere")
+
+    vt = thermal_voltage(temperature_k)
+    ni = intrinsic_concentration(temperature_k)
+    # Bulk reference: deep-node doping sets the Fermi level.
+    phi_b = vt * np.log(doping[-1] / ni)
+    c_ox = stack.capacitance_per_area
+    h = mesh.spacings_cm
+    volumes = mesh.control_volumes_cm()
+
+    if initial_psi is None:
+        psi = np.zeros(n_nodes)
+        # Depletion-style initial guess toward the expected surface value.
+        psi_s_guess = np.clip(vg - vfb, -0.2, 2.0 * phi_b + 10.0 * vt)
+        w_guess = max(np.sqrt(2.0 * EPS_SI * max(psi_s_guess, vt)
+                              / (Q * doping[0])), nodes[1])
+        inside = nodes < w_guess
+        psi[inside] = psi_s_guess * (1.0 - nodes[inside] / w_guess) ** 2
+    else:
+        psi = np.array(initial_psi, dtype=float)
+        if psi.shape != nodes.shape:
+            raise ParameterError("initial psi must match the mesh")
+
+    def carriers(psi_arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # Clamp the exponent to keep the Newton loop finite-valued even
+        # for wild intermediate iterates.
+        up = np.clip((psi_arr - phi_b - channel_potential_v) / vt,
+                     -120.0, 120.0)
+        dn = np.clip((phi_b - psi_arr) / vt, -120.0, 120.0)
+        return ni * np.exp(up), ni * np.exp(dn)
+
+    for iteration in range(1, max_iter + 1):
+        n_e, p_h = carriers(psi)
+        rho = Q * (p_h - n_e - doping)           # space charge [C/cm^3]
+        drho = -Q * (p_h + n_e) / vt             # d rho / d psi
+
+        # Residual F(psi) = flux divergence + integrated charge = 0.
+        residual = np.zeros(n_nodes)
+        flux = EPS_SI * np.diff(psi) / h         # eps * dpsi/dy on edges
+        residual[1:-1] = (flux[1:] - flux[:-1]) + rho[1:-1] * volumes[1:-1]
+        # Interface node: oxide displacement + silicon flux + half-cell charge.
+        residual[0] = (c_ox * (vg - vfb - psi[0]) + flux[0]
+                       + rho[0] * volumes[0])
+        # Deep bulk Dirichlet.
+        residual[-1] = psi[-1]
+
+        # Tridiagonal Jacobian in banded storage.
+        banded = np.zeros((3, n_nodes))
+        # Interior rows.
+        banded[0, 2:] = EPS_SI / h[1:]                       # superdiag
+        banded[2, :-2] = EPS_SI / h[:-1]                     # subdiag
+        banded[1, 1:-1] = (-EPS_SI / h[:-1] - EPS_SI / h[1:]
+                           + drho[1:-1] * volumes[1:-1])
+        # Interface row.
+        banded[1, 0] = -c_ox - EPS_SI / h[0] + drho[0] * volumes[0]
+        banded[0, 1] = EPS_SI / h[0]
+        # Bulk Dirichlet row.
+        banded[1, -1] = 1.0
+        banded[2, -2] = 0.0
+
+        update = solve_banded((1, 1), banded, -residual)
+        # Damp to at most a few thermal voltages per node per step.
+        max_step = 10.0 * vt
+        scale = min(1.0, max_step / max(np.max(np.abs(update)), 1e-30))
+        psi = psi + scale * update
+
+        if np.max(np.abs(update)) < tol:
+            n_e, p_h = carriers(psi)
+            return PoissonSolution(
+                mesh=mesh, psi_v=psi, vg=vg,
+                surface_potential_v=float(psi[0]),
+                electron_cm3=n_e, hole_cm3=p_h,
+                doping_cm3=doping, iterations=iteration,
+                channel_potential_v=channel_potential_v,
+            )
+
+    raise ConvergenceError(
+        f"Poisson solver did not converge at Vg={vg:.3f} V",
+        iterations=max_iter, residual=float(np.max(np.abs(residual))),
+    )

@@ -1,0 +1,105 @@
+"""Engineering-notation helpers.
+
+Device papers quote quantities like ``100pA/um``, ``2.1nm`` and
+``80mV/dec``.  This module provides a tiny, dependency-free parser and
+formatter for SI-prefixed magnitudes so that the experiment layer can
+echo numbers exactly the way the paper prints them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import ParameterError
+
+#: SI prefixes, prefix -> multiplier.
+SI_PREFIXES: dict[str, float] = {
+    "y": 1e-24, "z": 1e-21, "a": 1e-18, "f": 1e-15, "p": 1e-12,
+    "n": 1e-9, "u": 1e-6, "µ": 1e-6, "m": 1e-3, "": 1.0,
+    "k": 1e3, "M": 1e6, "G": 1e9, "T": 1e12, "P": 1e15,
+}
+
+#: Multiplier -> canonical prefix, for formatting.
+_PREFIX_BY_EXP: dict[int, str] = {
+    -24: "y", -21: "z", -18: "a", -15: "f", -12: "p", -9: "n",
+    -6: "u", -3: "m", 0: "", 3: "k", 6: "M", 9: "G", 12: "T", 15: "P",
+}
+
+_QUANTITY_RE = re.compile(
+    r"^\s*([+-]?\d+(?:\.\d*)?(?:[eE][+-]?\d+)?)\s*"
+    r"(y|z|a|f|p|n|u|µ|m|k|M|G|T|P)?"
+    r"([A-Za-zΩ%/.^\-0-9]*)\s*$"
+)
+
+
+def parse_quantity(text: str, expected_unit: str | None = None) -> float:
+    """Parse ``"100pA"`` / ``"2.1nm"`` / ``"250mV"`` into a base-unit float.
+
+    Parameters
+    ----------
+    text:
+        Engineering-notation string.  The unit suffix is free-form
+        (``A``, ``V``, ``A/um`` ...).
+    expected_unit:
+        When given, the parsed unit must match exactly (after stripping
+        the SI prefix), otherwise :class:`ParameterError` is raised.
+
+    >>> parse_quantity("100pA", "A")
+    1e-10
+    >>> parse_quantity("250mV", "V")
+    0.25
+    """
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise ParameterError(f"cannot parse quantity {text!r}")
+    mantissa_text, prefix, unit = match.groups()
+    prefix = prefix or ""
+    # Heuristic: "m" is ambiguous between metre and milli.  We treat a
+    # bare trailing "m" with no unit as metres only when no prefix fits,
+    # but in this library every call passes an explicit unit, so the
+    # ambiguity collapses: if the unit is empty and the prefix equals the
+    # expected unit, reinterpret the prefix as the unit.
+    if expected_unit is not None and unit == "" and prefix == expected_unit:
+        prefix, unit = "", expected_unit
+    # "2.1nm" with expected "nm": the regex reads prefix "n" + unit "m";
+    # when the concatenation equals the expected unit there is no prefix.
+    if (expected_unit is not None and unit != expected_unit
+            and prefix + unit == expected_unit):
+        prefix, unit = "", expected_unit
+    if expected_unit is not None and unit != expected_unit:
+        raise ParameterError(
+            f"expected unit {expected_unit!r} but got {unit!r} in {text!r}"
+        )
+    value = float(mantissa_text) * SI_PREFIXES[prefix]
+    return value
+
+
+def format_quantity(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a float with an SI prefix, e.g. ``1e-10 -> "100pA"``.
+
+    >>> format_quantity(1e-10, "A")
+    '100pA'
+    >>> format_quantity(0.25, "V")
+    '250mV'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    if math.isnan(value) or math.isinf(value):
+        return f"{value}{unit}"
+    exponent = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
+    exponent = max(-24, min(15, exponent))
+    prefix = _PREFIX_BY_EXP[exponent]
+    scaled = value / (10.0 ** exponent)
+    text = f"{scaled:.{digits}g}"
+    return f"{text}{prefix}{unit}"
+
+
+def per_micron(value_per_cm: float) -> float:
+    """Convert a per-cm-of-width quantity to per-µm (e.g. A/cm -> A/µm)."""
+    return value_per_cm * 1.0e-4
+
+
+def per_cm(value_per_um: float) -> float:
+    """Convert a per-µm-of-width quantity to per-cm (e.g. A/µm -> A/cm)."""
+    return value_per_um * 1.0e4

@@ -1,0 +1,35 @@
+"""Variability extension: random dopant fluctuation and Monte Carlo.
+
+The paper's introduction notes that "timing variability grows
+dramatically as V_dd reduces, forcing the adoption of pessimistic
+design practices".  This extension quantifies that observation for
+both scaling strategies: RDF-induced sigma(V_th) per device, and Monte
+Carlo distributions of sub-V_th delay and SNM.
+"""
+
+from .rdf import rdf_sigma_vth, avt_coefficient
+from .montecarlo import (
+    MonteCarloResult,
+    sample_vth_offsets,
+    delay_distribution,
+    snm_distribution,
+)
+from .yield_model import (
+    TimingMarginReport,
+    timing_margin,
+    gate_log_delay_sigma,
+    path_log_delay_sigma,
+)
+
+__all__ = [
+    "rdf_sigma_vth",
+    "avt_coefficient",
+    "MonteCarloResult",
+    "sample_vth_offsets",
+    "delay_distribution",
+    "snm_distribution",
+    "TimingMarginReport",
+    "timing_margin",
+    "gate_log_delay_sigma",
+    "path_log_delay_sigma",
+]

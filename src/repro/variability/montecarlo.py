@@ -1,0 +1,109 @@
+"""Monte Carlo circuit variability under RDF V_th fluctuations.
+
+Each trial perturbs the NFET and PFET thresholds of an inverter by
+independent Gaussian offsets with the RDF sigma of each device, then
+evaluates delay or SNM.  Deep in subthreshold the drive current is
+exponential in V_th, so delay distributions become log-normal-like
+with large spreads — the variability pressure the paper's introduction
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.delay import analytic_delay
+from ..circuit.inverter import Inverter
+from ..circuit.snm import noise_margins
+from ..errors import ParameterError
+from .rdf import rdf_sigma_vth
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Summary of a Monte Carlo metric distribution.
+
+    Attributes
+    ----------
+    samples:
+        Raw per-trial metric values.
+    mean / std / p05 / p50 / p95:
+        Distribution summary statistics.
+    """
+
+    samples: np.ndarray
+    mean: float
+    std: float
+    p05: float
+    p50: float
+    p95: float
+
+    @property
+    def sigma_over_mean(self) -> float:
+        """Relative spread sigma/mu — the paper's variability currency."""
+        return self.std / self.mean
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "MonteCarloResult":
+        """Build the summary from raw samples."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size < 2:
+            raise ParameterError("need at least 2 Monte Carlo samples")
+        return cls(
+            samples=arr,
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)),
+            p05=float(np.percentile(arr, 5)),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+        )
+
+
+def sample_vth_offsets(inverter: Inverter, n_trials: int,
+                       seed: int = 2007) -> tuple[np.ndarray, np.ndarray]:
+    """Draw (NFET, PFET) V_th offset pairs for ``n_trials`` trials."""
+    if n_trials < 1:
+        raise ParameterError("need at least one trial")
+    rng = np.random.default_rng(seed)
+    sigma_n = rdf_sigma_vth(inverter.nfet)
+    sigma_p = rdf_sigma_vth(inverter.pfet)
+    return (rng.normal(0.0, sigma_n, n_trials),
+            rng.normal(0.0, sigma_p, n_trials))
+
+
+def _perturbed(inverter: Inverter, dn: float, dp: float) -> Inverter:
+    return Inverter(
+        nfet=inverter.nfet.with_vth_offset(float(dn)),
+        pfet=inverter.pfet.with_vth_offset(float(dp)),
+        vdd=inverter.vdd,
+    )
+
+
+def delay_distribution(inverter: Inverter, n_trials: int = 200,
+                       seed: int = 2007) -> MonteCarloResult:
+    """FO1 analytic-delay distribution under RDF [s]."""
+    offs_n, offs_p = sample_vth_offsets(inverter, n_trials, seed)
+    c_load = inverter.load_capacitance(fanout=1)
+    samples = np.empty(n_trials)
+    for i, (dn, dp) in enumerate(zip(offs_n, offs_p)):
+        samples[i] = analytic_delay(_perturbed(inverter, dn, dp), c_load)
+    return MonteCarloResult.from_samples(samples)
+
+
+def snm_distribution(inverter: Inverter, n_trials: int = 100,
+                     seed: int = 2007) -> MonteCarloResult:
+    """Inverter SNM distribution under RDF [V].
+
+    Trials where the perturbed inverter loses regeneration (no
+    gain = -1 points) are recorded as zero noise margin.
+    """
+    offs_n, offs_p = sample_vth_offsets(inverter, n_trials, seed)
+    samples = np.empty(n_trials)
+    for i, (dn, dp) in enumerate(zip(offs_n, offs_p)):
+        try:
+            samples[i] = noise_margins(_perturbed(inverter, dn, dp)).snm
+        except ParameterError:
+            samples[i] = 0.0
+    return MonteCarloResult.from_samples(samples)

@@ -1,0 +1,52 @@
+"""Random dopant fluctuation (RDF) threshold-voltage variability.
+
+The standard Mizuno/Stolk result: the stochastic count of dopants in
+the channel depletion region gives
+
+``sigma(V_th) = (q T_ox / eps_ox) * sqrt(N_eff W_dep / (4 W L_eff))``
+
+— growing with oxide thickness and doping, shrinking with device area.
+Since both scaling strategies raise doping while shrinking area, RDF
+worsens with scaling; the sub-V_th strategy's larger gate area and
+lighter doping buy it a variability advantage on top of its slope
+advantage, which the Monte Carlo module quantifies at circuit level.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import EPS_OX, Q
+from ..device.mosfet import MOSFET
+from ..errors import ParameterError
+
+
+def rdf_sigma_vth(device: MOSFET) -> float:
+    """RDF sigma(V_th) [V] of one device.
+
+    >>> from repro.device import nfet
+    >>> 0.002 < rdf_sigma_vth(nfet(65, 2.1, 1.5e18, 2e18)) < 0.08
+    True
+    """
+    n_eff = device.iv.n_eff_cm3
+    w_dep = device.iv.w_dep_cm
+    area = device.geometry.width_cm * device.geometry.l_eff_cm
+    if area <= 0.0:
+        raise ParameterError("device area must be positive")
+    t_ox = device.stack.eot_cm
+    return (Q * t_ox / EPS_OX) * math.sqrt(n_eff * w_dep / (4.0 * area))
+
+
+def avt_coefficient(device: MOSFET) -> float:
+    """Pelgrom mismatch coefficient A_Vt [V * cm] of the technology.
+
+    ``sigma(V_th) = A_Vt / sqrt(W L)``; conventionally quoted in
+    mV*um (multiply by 1e7).
+    """
+    area = device.geometry.width_cm * device.geometry.l_eff_cm
+    return rdf_sigma_vth(device) * math.sqrt(area)
+
+
+def avt_mv_um(device: MOSFET) -> float:
+    """A_Vt in the conventional mV*µm unit."""
+    return avt_coefficient(device) * 1.0e3 * 1.0e4

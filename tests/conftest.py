@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Device families are expensive to optimise, so they are built once per
+session through the same lru-cached path the experiments use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import Inverter
+from repro.device import nfet, pfet
+from repro.experiments.families import sub_vth_family, super_vth_family
+
+
+@pytest.fixture(scope="session")
+def nfet90():
+    """A 90nm-class NFET with a representative halo."""
+    return nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                n_p_halo_cm3=1.5e18)
+
+
+@pytest.fixture(scope="session")
+def pfet90():
+    """The matching 90nm-class PFET (2 µm wide)."""
+    return pfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                n_p_halo_cm3=1.5e18, width_um=2.0)
+
+
+@pytest.fixture(scope="session")
+def inverter_sub(nfet90, pfet90):
+    """A sub-V_th inverter at 250 mV."""
+    return Inverter(nfet=nfet90, pfet=pfet90, vdd=0.25)
+
+
+@pytest.fixture(scope="session")
+def inverter_nominal(nfet90, pfet90):
+    """A nominal-supply inverter at 1.2 V."""
+    return Inverter(nfet=nfet90, pfet=pfet90, vdd=1.2)
+
+
+@pytest.fixture(scope="session")
+def super_family():
+    """The cached Table 2 family."""
+    return super_vth_family()
+
+
+@pytest.fixture(scope="session")
+def sub_family():
+    """The cached Table 3 family."""
+    return sub_vth_family()

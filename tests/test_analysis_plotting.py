@@ -1,0 +1,85 @@
+"""Tests for the ASCII chart renderer and sparkline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series, render_ascii_chart, sparkline
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def up_series():
+    return Series(label="up", x=np.array([0.0, 1.0, 2.0, 3.0]),
+                  y=np.array([1.0, 2.0, 3.0, 4.0]))
+
+
+@pytest.fixture()
+def down_series():
+    return Series(label="down", x=np.array([0.0, 1.0, 2.0, 3.0]),
+                  y=np.array([4.0, 3.0, 2.0, 1.0]))
+
+
+class TestAsciiChart:
+    def test_contains_glyphs_and_legend(self, up_series):
+        chart = render_ascii_chart([up_series])
+        assert "*" in chart
+        assert "up" in chart
+
+    def test_two_series_distinct_glyphs(self, up_series, down_series):
+        chart = render_ascii_chart([up_series, down_series])
+        assert "*" in chart and "o" in chart
+
+    def test_axis_labels_present(self, up_series):
+        chart = render_ascii_chart([up_series])
+        assert "4" in chart.splitlines()[0]       # y max on first line
+        assert "0" in chart.splitlines()[-2]      # x axis line
+
+    def test_monotone_series_renders_monotone(self, up_series):
+        chart = render_ascii_chart([up_series], width=32, height=8)
+        rows = [line[13:] for line in chart.splitlines()[:8]]
+        first_col_positions = []
+        for col in range(32):
+            for row_idx, row in enumerate(rows):
+                if col < len(row) and row[col] == "*":
+                    first_col_positions.append(row_idx)
+                    break
+        # Row index decreases toward the top: should be non-increasing
+        # left-to-right for a rising series.
+        assert all(b <= a for a, b in
+                   zip(first_col_positions, first_col_positions[1:]))
+
+    def test_log_scale(self):
+        s = Series(label="decades", x=np.array([0.0, 1.0, 2.0]),
+                   y=np.array([1.0, 10.0, 100.0]))
+        chart = render_ascii_chart([s], logy=True)
+        assert "100" in chart
+
+    def test_log_scale_rejects_nonpositive(self, up_series):
+        bad = Series(label="bad", x=up_series.x,
+                     y=np.array([1.0, -1.0, 2.0, 3.0]))
+        with pytest.raises(ParameterError):
+            render_ascii_chart([bad], logy=True)
+
+    def test_too_small_rejected(self, up_series):
+        with pytest.raises(ParameterError):
+            render_ascii_chart([up_series], width=4, height=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            render_ascii_chart([])
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([1, 2, 3, 4]) == "▁▃▆█"
+
+    def test_flat(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_width_resampling(self):
+        line = sparkline(np.linspace(0, 1, 100), width=10)
+        assert len(line) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            sparkline([])

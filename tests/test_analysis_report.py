@@ -1,0 +1,66 @@
+"""Tests for Comparison and ExperimentResult."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Comparison, ExperimentResult, Series
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def result():
+    series = Series(label="main", x=np.array([1.0, 2.0]),
+                    y=np.array([3.0, 4.0]))
+    comparisons = (
+        Comparison(claim="good", paper_value=1.0, measured_value=1.1,
+                   holds=True),
+        Comparison(claim="bad", paper_value=1.0, measured_value=9.0,
+                   holds=False, note="off"),
+    )
+    return ExperimentResult(
+        experiment_id="test", title="A test", series=(series,),
+        headers=("a", "b"), rows=(("x", 1.0),), comparisons=comparisons,
+    )
+
+
+class TestComparison:
+    def test_render_ok(self):
+        c = Comparison(claim="x", paper_value=1.0, measured_value=1.0)
+        assert c.render().startswith("[OK ]")
+
+    def test_render_miss(self):
+        c = Comparison(claim="x", paper_value=1.0, measured_value=2.0,
+                       holds=False)
+        assert c.render().startswith("[MISS]")
+
+    def test_note_included(self):
+        c = Comparison(claim="x", paper_value=1.0, measured_value=1.0,
+                       note="context")
+        assert "context" in c.render()
+
+
+class TestExperimentResult:
+    def test_get_series(self, result):
+        assert result.get_series("main").label == "main"
+
+    def test_get_missing_series(self, result):
+        with pytest.raises(ParameterError):
+            result.get_series("nope")
+
+    def test_all_hold(self, result):
+        assert not result.all_hold()
+
+    def test_render_contains_everything(self, result):
+        text = result.render()
+        assert "A test" in text
+        assert "main" in text
+        assert "[MISS]" in text
+
+    def test_rows_need_headers(self):
+        with pytest.raises(ParameterError):
+            ExperimentResult(experiment_id="x", title="t",
+                             rows=(("a",),), headers=())
+
+    def test_id_required(self):
+        with pytest.raises(ParameterError):
+            ExperimentResult(experiment_id="", title="t")

@@ -1,0 +1,63 @@
+"""Tests for the Series container."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Series
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def series():
+    return Series(label="s", x=np.array([90.0, 65.0, 45.0, 32.0]),
+                  y=np.array([80.0, 84.0, 88.0, 92.0]),
+                  x_label="node", y_label="ss")
+
+
+class TestSeries:
+    def test_total_change(self, series):
+        assert series.total_change() == pytest.approx(0.15)
+
+    def test_per_step_change(self, series):
+        steps = series.per_step_change()
+        assert len(steps) == 3
+        assert steps[0] == pytest.approx(0.05)
+
+    def test_normalized_default(self, series):
+        norm = series.normalized()
+        assert norm.y[0] == pytest.approx(1.0)
+
+    def test_normalized_reference(self, series):
+        norm = series.normalized(reference=40.0)
+        assert norm.y[0] == pytest.approx(2.0)
+
+    def test_normalized_rejects_zero(self, series):
+        with pytest.raises(ParameterError):
+            series.normalized(reference=0.0)
+
+    def test_pearson_perfect(self, series):
+        other = Series(label="2x", x=series.x, y=2.0 * series.y)
+        assert series.pearson_r(other) == pytest.approx(1.0)
+
+    def test_pearson_anticorrelated(self, series):
+        other = Series(label="-x", x=series.x, y=-series.y)
+        assert series.pearson_r(other) == pytest.approx(-1.0)
+
+    def test_pearson_length_mismatch(self, series):
+        other = Series(label="short", x=np.array([1.0, 2.0]),
+                       y=np.array([1.0, 2.0]))
+        with pytest.raises(ParameterError):
+            series.pearson_r(other)
+
+    def test_as_rows(self, series):
+        rows = series.as_rows()
+        assert rows[0] == (90.0, 80.0)
+        assert len(rows) == 4
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ParameterError):
+            Series(label="bad", x=np.array([1.0, 2.0]), y=np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            Series(label="bad", x=np.array([]), y=np.array([]))

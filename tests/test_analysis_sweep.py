@@ -1,0 +1,62 @@
+"""Tests for the sweep engine."""
+
+import pytest
+
+from repro.analysis.sweep import successful_values, sweep_1d, sweep_grid
+from repro.errors import ParameterError
+
+
+class TestSweep1d:
+    def test_basic(self):
+        points = sweep_1d(lambda x: x * x, [1.0, 2.0, 3.0])
+        assert [p.value for p in points] == [1.0, 4.0, 9.0]
+        assert all(p.ok for p in points)
+
+    def test_failure_propagates_by_default(self):
+        def bomb(x):
+            raise ValueError("boom")
+        with pytest.raises(ValueError):
+            sweep_1d(bomb, [1.0])
+
+    def test_tolerated_failures_recorded(self):
+        def sometimes(x):
+            if x > 2.0:
+                raise ValueError("too big")
+            return x
+        points = sweep_1d(sometimes, [1.0, 3.0], tolerate_failures=True)
+        assert points[0].ok
+        assert not points[1].ok
+        assert "too big" in points[1].error
+
+    def test_successful_values_filter(self):
+        def sometimes(x):
+            if x > 2.0:
+                raise ValueError("no")
+            return x
+        points = sweep_1d(sometimes, [1.0, 3.0, 2.0], tolerate_failures=True)
+        assert successful_values(points) == [1.0, 2.0]
+
+    def test_inputs_recorded(self):
+        points = sweep_1d(lambda x: x, [7.5])
+        assert points[0].inputs == (7.5,)
+
+
+class TestSweepGrid:
+    def test_cartesian(self):
+        points = sweep_grid(lambda a, b: a * 10 + b,
+                            {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        values = [p.value for p in points]
+        assert values == [13.0, 14.0, 23.0, 24.0]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ParameterError):
+            sweep_grid(lambda: 0, {})
+
+    def test_tolerates_failures(self):
+        def picky(a, b):
+            if a == b:
+                raise ValueError("diag")
+            return a - b
+        points = sweep_grid(picky, {"a": [1.0, 2.0], "b": [1.0, 2.0]},
+                            tolerate_failures=True)
+        assert sum(1 for p in points if not p.ok) == 2

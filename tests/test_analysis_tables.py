@@ -1,0 +1,57 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_sig, render_table
+from repro.errors import ParameterError
+
+
+class TestFormatSig:
+    def test_integers(self):
+        assert format_sig(1234.5) == "1230"
+
+    def test_small(self):
+        assert format_sig(0.00123) == "0.00123"
+
+    def test_tiny_scientific(self):
+        assert "e" in format_sig(1.23e-8)
+
+    def test_zero(self):
+        assert format_sig(0.0) == "0"
+
+    def test_nan_and_inf(self):
+        assert format_sig(float("nan")) == "nan"
+        assert format_sig(float("inf")) == "inf"
+
+    def test_negative(self):
+        assert format_sig(-2.5) == "-2.50"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(("a", "b"), [("x", 1.0), ("y", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(("a",), [("x",)], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_alignment(self):
+        text = render_table(("col", "value"), [("long-entry", 1.0)])
+        header, sep, row = text.splitlines()
+        assert header.index("|") == row.index("|")
+
+    def test_numbers_formatted(self):
+        text = render_table(("v",), [(1234.5,)])
+        assert "1230" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ParameterError):
+            render_table(("a", "b"), [("only-one",)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ParameterError):
+            render_table((), [])

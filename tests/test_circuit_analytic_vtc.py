@@ -1,0 +1,112 @@
+"""Tests for the paper's Eq. 3 analytic subthreshold VTC."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.analytic_vtc import (
+    analytic_snm_matched,
+    compare_with_numeric,
+    max_gain_matched,
+    switching_threshold_matched,
+    vin_of_vout_general,
+    vin_of_vout_matched,
+)
+from repro.circuit.snm import noise_margins
+from repro.errors import ParameterError
+
+VDD = 0.25
+M = 1.30
+
+
+class TestEq3c:
+    def test_symmetry_point(self):
+        # At V_out = V_dd/2 the log term vanishes: V_in = V_dd/2.
+        assert vin_of_vout_matched(VDD / 2.0, VDD, M) == pytest.approx(
+            VDD / 2.0)
+
+    def test_antisymmetry(self):
+        # Eq. 3(c) is antisymmetric about the midpoint.
+        v1 = vin_of_vout_matched(0.06, VDD, M)
+        v2 = vin_of_vout_matched(VDD - 0.06, VDD, M)
+        assert v1 + v2 == pytest.approx(VDD, abs=1e-12)
+
+    def test_monotone_decreasing(self):
+        vouts = np.linspace(0.01, VDD - 0.01, 101)
+        vins = vin_of_vout_matched(vouts, VDD, M)
+        assert np.all(np.diff(vins) < 0.0)
+
+    def test_slope_factor_widens_transition(self):
+        # Larger m -> shallower transition -> wider V_in range.
+        span_small = (vin_of_vout_matched(0.01, VDD, 1.1)
+                      - vin_of_vout_matched(VDD - 0.01, VDD, 1.1))
+        span_large = (vin_of_vout_matched(0.01, VDD, 1.6)
+                      - vin_of_vout_matched(VDD - 0.01, VDD, 1.6))
+        assert span_large > span_small
+
+    def test_rejects_rail_values(self):
+        with pytest.raises(ParameterError):
+            vin_of_vout_matched(0.0, VDD, M)
+        with pytest.raises(ParameterError):
+            vin_of_vout_matched(VDD, VDD, M)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ParameterError):
+            vin_of_vout_matched(0.1, VDD, 0.9)
+
+
+class TestEq3b:
+    def test_reduces_to_eq3c_when_matched(self):
+        general = vin_of_vout_general(0.08, VDD, M, M, 0.4, 0.4,
+                                      1e-7, 1e-7)
+        matched = vin_of_vout_matched(0.08, VDD, M)
+        assert general == pytest.approx(matched, abs=1e-12)
+
+    def test_stronger_pfet_shifts_trip_up(self):
+        # I_0P > I_0N: the PFET wins the fight; the transition moves to
+        # a higher input voltage.
+        skewed = vin_of_vout_general(VDD / 2.0, VDD, M, M, 0.4, 0.4,
+                                     1e-7, 4e-7)
+        assert skewed > VDD / 2.0
+
+    def test_rejects_bad_prefactors(self):
+        with pytest.raises(ParameterError):
+            vin_of_vout_general(0.1, VDD, M, M, 0.4, 0.4, 0.0, 1e-7)
+
+
+class TestDerivedQuantities:
+    def test_trip_point(self):
+        assert switching_threshold_matched(VDD) == pytest.approx(VDD / 2.0)
+
+    def test_gain_grows_with_vdd(self):
+        assert max_gain_matched(0.3, M) > max_gain_matched(0.2, M)
+
+    def test_gain_falls_with_m(self):
+        assert max_gain_matched(VDD, 1.6) < max_gain_matched(VDD, 1.1)
+
+    def test_analytic_snm_close_to_numeric(self, inverter_sub):
+        analytic = analytic_snm_matched(inverter_sub.vdd,
+                                        inverter_sub.nfet.slope_factor)
+        numeric = noise_margins(inverter_sub).snm
+        assert analytic.snm == pytest.approx(numeric, rel=0.10)
+
+    def test_analytic_snm_degrades_with_m(self):
+        good = analytic_snm_matched(VDD, 1.2)
+        bad = analytic_snm_matched(VDD, 1.6)
+        assert bad.snm < good.snm
+
+    def test_no_regeneration_at_tiny_vdd(self):
+        with pytest.raises(ParameterError):
+            analytic_snm_matched(0.03, M)
+
+
+class TestAgreementWithNumericVtc:
+    def test_deep_subthreshold_agreement(self, inverter_sub):
+        report = compare_with_numeric(inverter_sub)
+        # Eq. 3 holds to ~10 mV at 250 mV supply.
+        assert report["max_vin_deviation_v"] < 0.02
+
+    def test_agreement_degrades_toward_threshold(self, nfet90, pfet90):
+        from repro.circuit import Inverter
+        deep = compare_with_numeric(Inverter(nfet90, pfet90, 0.22))
+        near = compare_with_numeric(Inverter(nfet90, pfet90, 0.40))
+        assert near["max_vin_deviation_v"] > deep["max_vin_deviation_v"]

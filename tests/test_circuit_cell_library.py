@@ -1,0 +1,81 @@
+"""Tests for the liberty-lite cell characterisation."""
+
+import pytest
+
+from repro.circuit.cell_library import (
+    LOAD_GRID,
+    CellLibrary,
+    characterise_cell,
+    characterise_design,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def library(sub_family):
+    return characterise_design(sub_family.design("32nm"), vdd=0.30)
+
+
+class TestCellTiming:
+    def test_all_cells_present(self, library):
+        names = {c.name for c in library.cells}
+        assert names == {"inv", "nand2", "nor2"}
+
+    def test_delay_monotone_in_load(self, library):
+        for cell in library.cells:
+            delays = cell.delays_s
+            assert all(b > a for a, b in zip(delays, delays[1:]))
+
+    def test_delay_interpolation(self, library):
+        cell = library.cell("inv")
+        mid_load = 0.5 * (cell.loads_f[0] + cell.loads_f[1])
+        value = cell.delay_at(mid_load)
+        assert cell.delays_s[0] < value < cell.delays_s[1]
+
+    def test_interpolation_range_checked(self, library):
+        cell = library.cell("inv")
+        with pytest.raises(ParameterError):
+            cell.delay_at(cell.loads_f[-1] * 10.0)
+
+    def test_drive_resistance_positive(self, library):
+        for cell in library.cells:
+            assert cell.drive_resistance_ohm > 0.0
+
+    def test_gates_have_larger_input_cap_than_inverter(self, library):
+        inv = library.cell("inv")
+        assert library.cell("nand2").input_cap_f > inv.input_cap_f
+        assert library.cell("nor2").input_cap_f > inv.input_cap_f
+
+    def test_gate_leakage_exceeds_inverter(self, library):
+        inv = library.cell("inv")
+        assert library.cell("nand2").leakage_w > inv.leakage_w
+
+
+class TestLibrary:
+    def test_lookup_unknown(self, library):
+        with pytest.raises(ParameterError):
+            library.cell("xor9")
+
+    def test_render_contains_cells(self, library):
+        text = library.render()
+        for name in ("inv", "nand2", "nor2"):
+            assert name in text
+
+    def test_rejects_bad_supply(self, sub_family):
+        with pytest.raises(ParameterError):
+            characterise_design(sub_family.design("32nm"), vdd=0.0)
+
+
+class TestStrategyComparison:
+    def test_sub_vth_library_faster_at_low_vdd(self, super_family,
+                                               sub_family):
+        lib_sup = characterise_design(super_family.design("32nm"), vdd=0.25)
+        lib_sub = characterise_design(sub_family.design("32nm"), vdd=0.25)
+        assert (lib_sub.cell("inv").delays_s[0]
+                < lib_sup.cell("inv").delays_s[0])
+
+    def test_higher_vdd_faster_cells(self, sub_family):
+        slow = characterise_design(sub_family.design("32nm"), vdd=0.25)
+        fast = characterise_design(sub_family.design("32nm"), vdd=0.35)
+        assert (fast.cell("inv").delays_s[0]
+                < slow.cell("inv").delays_s[0])

@@ -1,0 +1,49 @@
+"""Tests for the InverterChain testbench."""
+
+import pytest
+
+from repro.circuit import InverterChain
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def chain(inverter_sub):
+    return InverterChain(stage=inverter_sub, n_stages=30, activity=0.1)
+
+
+class TestChain:
+    def test_critical_path_scales_with_stages(self, inverter_sub):
+        c10 = InverterChain(inverter_sub, n_stages=10)
+        c30 = InverterChain(inverter_sub, n_stages=30)
+        assert c30.critical_path() == pytest.approx(
+            3.0 * c10.critical_path())
+
+    def test_stage_delay_positive(self, chain):
+        assert chain.stage_delay() > 0.0
+
+    def test_energy_matches_free_function(self, chain):
+        from repro.circuit.energy import chain_energy_per_cycle
+        direct = chain_energy_per_cycle(chain.stage, 30, 0.1)
+        assert chain.energy_per_cycle().total_j == pytest.approx(
+            direct.total_j)
+
+    def test_minimum_energy_point(self, chain):
+        mep = chain.minimum_energy_point()
+        assert 0.08 < mep.vmin < 0.7
+        assert mep.energy.total_j > 0.0
+
+    def test_at_vdd(self, chain):
+        rebias = chain.at_vdd(0.4)
+        assert rebias.vdd == pytest.approx(0.4)
+        assert rebias.n_stages == chain.n_stages
+
+    def test_rejects_zero_stages(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            InverterChain(inverter_sub, n_stages=0)
+
+    def test_rejects_bad_activity(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            InverterChain(inverter_sub, activity=-0.1)
+
+    def test_vdd_property(self, chain, inverter_sub):
+        assert chain.vdd == inverter_sub.vdd

@@ -1,0 +1,58 @@
+"""Tests for the delay metrics (analytic Eq. 4 and transient FO1)."""
+
+import pytest
+
+from repro.circuit.delay import DelayResult, analytic_delay, fo1_delay
+from repro.errors import ParameterError
+
+
+class TestAnalyticDelay:
+    def test_positive(self, inverter_sub):
+        assert analytic_delay(inverter_sub) > 0.0
+
+    def test_linear_in_load(self, inverter_sub):
+        c = inverter_sub.load_capacitance(1)
+        assert analytic_delay(inverter_sub, 2.0 * c) == pytest.approx(
+            2.0 * analytic_delay(inverter_sub, c))
+
+    def test_linear_in_kd(self, inverter_sub):
+        c = inverter_sub.load_capacitance(1)
+        assert analytic_delay(inverter_sub, c, k_d=1.38) == pytest.approx(
+            2.0 * analytic_delay(inverter_sub, c, k_d=0.69))
+
+    def test_rejects_bad_kd(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            analytic_delay(inverter_sub, k_d=0.0)
+
+    def test_rejects_bad_load(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            analytic_delay(inverter_sub, c_load_f=-1e-15)
+
+
+class TestFo1Delay:
+    def test_analytic_only(self, inverter_sub):
+        result = fo1_delay(inverter_sub, transient=False)
+        assert result.transient_s is None
+        assert result.best == result.analytic_s
+
+    def test_transient_matches_analytic_within_factor(self, inverter_sub):
+        result = fo1_delay(inverter_sub, transient=True)
+        assert result.transient_s == pytest.approx(result.analytic_s,
+                                                   rel=0.5)
+        assert result.best == result.transient_s
+
+    def test_uses_fo1_load(self, inverter_sub):
+        result = fo1_delay(inverter_sub, transient=False)
+        assert result.c_load_f == pytest.approx(
+            inverter_sub.load_capacitance(1))
+
+    def test_result_records_vdd(self, inverter_sub):
+        assert fo1_delay(inverter_sub, transient=False).vdd == pytest.approx(
+            inverter_sub.vdd)
+
+
+class TestDelayResult:
+    def test_best_prefers_transient(self):
+        r = DelayResult(vdd=0.25, c_load_f=1e-15, analytic_s=1e-9,
+                        transient_s=1.2e-9)
+        assert r.best == 1.2e-9

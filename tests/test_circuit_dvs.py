@@ -1,0 +1,96 @@
+"""Tests for the V_min-floored DVS policy (paper ref [17])."""
+
+import pytest
+
+from repro.circuit import InverterChain
+from repro.circuit.dvs import (
+    chain_rate_hz,
+    dvs_range,
+    energy_per_cycle_at_throughput,
+    vdd_for_throughput,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def chain(nfet90, pfet90):
+    from repro.circuit import Inverter
+    return InverterChain(Inverter(nfet90, pfet90, 0.3), n_stages=30,
+                         activity=0.1)
+
+
+@pytest.fixture(scope="module")
+def mep(chain):
+    return chain.minimum_energy_point()
+
+
+class TestVddForThroughput:
+    def test_rate_monotone_in_vdd(self, chain):
+        assert chain_rate_hz(chain, 0.4) > chain_rate_hz(chain, 0.25)
+
+    def test_meets_target(self, chain):
+        target = 2.0 * chain_rate_hz(chain, 0.25)
+        vdd = vdd_for_throughput(chain, target)
+        assert chain_rate_hz(chain, vdd) >= target * 0.999
+
+    def test_is_minimal(self, chain):
+        target = 2.0 * chain_rate_hz(chain, 0.25)
+        vdd = vdd_for_throughput(chain, target)
+        assert chain_rate_hz(chain, vdd - 0.01) < target
+
+    def test_unreachable_target_raises(self, chain):
+        with pytest.raises(ParameterError):
+            vdd_for_throughput(chain, 1e15)
+
+    def test_rejects_bad_target(self, chain):
+        with pytest.raises(ParameterError):
+            vdd_for_throughput(chain, 0.0)
+
+
+class TestDvsPolicy:
+    def test_energy_falls_toward_vmin_rate(self, chain, mep):
+        f_vmin = chain_rate_hz(chain, mep.vmin)
+        fast = energy_per_cycle_at_throughput(chain, 8.0 * f_vmin, mep)
+        slow = energy_per_cycle_at_throughput(chain, 1.1 * f_vmin, mep)
+        assert slow.energy_j < fast.energy_j
+
+    def test_energy_saturates_below_vmin_rate(self, chain, mep):
+        f_vmin = chain_rate_hz(chain, mep.vmin)
+        at = energy_per_cycle_at_throughput(chain, 0.9 * f_vmin, mep)
+        way_below = energy_per_cycle_at_throughput(chain, 0.2 * f_vmin, mep)
+        # The Insomniac result: E/op stops improving; idle leakage even
+        # pushes it up slightly as the duty cycle falls.
+        assert way_below.energy_j >= at.energy_j * 0.98
+        assert way_below.energy_j < 3.0 * at.energy_j
+
+    def test_supply_floors_at_vmin(self, chain, mep):
+        f_vmin = chain_rate_hz(chain, mep.vmin)
+        point = energy_per_cycle_at_throughput(chain, 0.3 * f_vmin, mep)
+        assert point.vdd == pytest.approx(mep.vmin)
+        assert point.duty_cycle == pytest.approx(0.3, rel=1e-6)
+
+    def test_above_vmin_full_duty(self, chain, mep):
+        f_vmin = chain_rate_hz(chain, mep.vmin)
+        point = energy_per_cycle_at_throughput(chain, 3.0 * f_vmin, mep)
+        assert point.duty_cycle == 1.0
+        assert point.vdd > mep.vmin
+
+
+class TestDvsRange:
+    def test_window(self, chain, mep):
+        window = dvs_range(chain, vmax=0.9, mep=mep)
+        assert window.vmin == pytest.approx(mep.vmin)
+        assert window.throughput_dynamic_range > 10.0
+
+    def test_rejects_vmax_below_vmin(self, chain, mep):
+        with pytest.raises(ParameterError):
+            dvs_range(chain, vmax=mep.vmin / 2.0, mep=mep)
+
+    def test_sub_vth_strategy_wider_low_end(self, super_family, sub_family):
+        # The sub-V_th design's lower V_min extends the DVS window's
+        # low-energy end.
+        chain_sup = InverterChain(super_family.design("32nm").inverter(0.3))
+        chain_sub = InverterChain(sub_family.design("32nm").inverter(0.3))
+        w_sup = dvs_range(chain_sup, vmax=0.9)
+        w_sub = dvs_range(chain_sub, vmax=0.9)
+        assert w_sub.vmin < w_sup.vmin

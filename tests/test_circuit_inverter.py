@@ -1,0 +1,89 @@
+"""Tests for the inverter VTC solver."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Inverter
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_polarity_enforced(self, nfet90, pfet90):
+        with pytest.raises(ParameterError):
+            Inverter(nfet=pfet90, pfet=nfet90, vdd=0.25)
+
+    def test_rejects_nonpositive_vdd(self, nfet90, pfet90):
+        with pytest.raises(ParameterError):
+            Inverter(nfet=nfet90, pfet=pfet90, vdd=0.0)
+
+    def test_with_vdd(self, inverter_sub):
+        assert inverter_sub.with_vdd(0.3).vdd == pytest.approx(0.3)
+
+
+class TestVtc:
+    def test_rails(self, inverter_sub):
+        vdd = inverter_sub.vdd
+        assert inverter_sub.vtc_point(0.0) > 0.95 * vdd
+        assert inverter_sub.vtc_point(vdd) < 0.05 * vdd
+
+    def test_monotone_decreasing(self, inverter_sub):
+        vins, vouts = inverter_sub.vtc(n_points=61)
+        assert np.all(np.diff(vouts) <= 1e-9)
+
+    def test_output_in_rails(self, inverter_sub):
+        vins, vouts = inverter_sub.vtc(n_points=41)
+        assert np.all(vouts >= -1e-12)
+        assert np.all(vouts <= inverter_sub.vdd + 1e-12)
+
+    def test_nominal_vdd_sharp_transition(self, inverter_nominal):
+        # At 1.2 V the transition is steep: gain magnitude >> 1.
+        mid = inverter_nominal.switching_threshold()
+        assert inverter_nominal.gain(mid) < -5.0
+
+    def test_vin_out_of_range_rejected(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            inverter_sub.vtc_point(-0.1)
+
+    def test_balance_at_vtc_point(self, inverter_sub):
+        vin = 0.12
+        vout = inverter_sub.vtc_point(vin)
+        balance = (inverter_sub.pulldown_current(vin, vout)
+                   - inverter_sub.pullup_current(vin, vout))
+        scale = inverter_sub.pulldown_current(vin, vout)
+        assert abs(balance) < 1e-3 * max(scale, 1e-18)
+
+
+class TestSwitchingThreshold:
+    def test_interior(self, inverter_sub):
+        vm = inverter_sub.switching_threshold()
+        assert 0.0 < vm < inverter_sub.vdd
+
+    def test_self_consistent(self, inverter_sub):
+        vm = inverter_sub.switching_threshold()
+        assert inverter_sub.vtc_point(vm) == pytest.approx(vm, abs=1e-6)
+
+
+class TestLoadsAndLeakage:
+    def test_input_capacitance_positive(self, inverter_sub):
+        assert inverter_sub.input_capacitance() > 0.0
+
+    def test_subthreshold_cap_below_nominal(self, inverter_sub,
+                                            inverter_nominal):
+        # Weak-inversion gate capacitance collapse.
+        assert (inverter_sub.input_capacitance()
+                < 0.8 * inverter_nominal.input_capacitance())
+
+    def test_fo_load_monotone(self, inverter_sub):
+        c1 = inverter_sub.load_capacitance(1)
+        c2 = inverter_sub.load_capacitance(2)
+        assert c2 > c1 > inverter_sub.load_capacitance(0)
+
+    def test_rejects_negative_fanout(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            inverter_sub.load_capacitance(-1)
+
+    def test_leakage_between_device_leakages(self, inverter_sub):
+        i_n = inverter_sub.nfet.i_off(inverter_sub.vdd)
+        i_p = inverter_sub.pfet.i_off(inverter_sub.vdd)
+        leak = inverter_sub.leakage_current()
+        assert min(i_n, i_p) <= leak <= max(i_n, i_p)

@@ -1,0 +1,72 @@
+"""Tests for the DCVS level shifter (contention dynamics via MNA)."""
+
+import pytest
+
+from repro.circuit.level_shifter import LevelShifter, min_convertible_vdd
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def devices(sub_family):
+    design = sub_family.design("32nm")
+    return design.nfet, design.pfet
+
+
+def shifter(devices, vdd_low, width=4.0):
+    n, p = devices
+    return LevelShifter(nfet=n, pfet=p, vdd_low=vdd_low, vdd_high=0.9,
+                        nfet_width_um=width)
+
+
+class TestConstruction:
+    def test_polarity_enforced(self, devices):
+        n, p = devices
+        with pytest.raises(ParameterError):
+            LevelShifter(nfet=p, pfet=n, vdd_low=0.3, vdd_high=0.9)
+
+    def test_domain_ordering_enforced(self, devices):
+        n, p = devices
+        with pytest.raises(ParameterError):
+            LevelShifter(nfet=n, pfet=p, vdd_low=1.2, vdd_high=0.9)
+
+    def test_width_positive(self, devices):
+        n, p = devices
+        with pytest.raises(ParameterError):
+            LevelShifter(nfet=n, pfet=p, vdd_low=0.3, vdd_high=0.9,
+                         nfet_width_um=0.0)
+
+    def test_vin_domain_checked(self, devices):
+        ls = shifter(devices, 0.3)
+        with pytest.raises(ParameterError):
+            ls.output_levels(0.5)
+
+
+class TestConversion:
+    def test_converts_from_near_nominal(self, devices):
+        # With the input domain near the output rail, conversion is easy.
+        assert shifter(devices, 0.85).converts_correctly()
+
+    def test_fails_from_deep_subthreshold(self, devices):
+        # The classic DCVS limitation: a 300 mV input cannot overpower
+        # the high-rail PFETs — special topologies exist for a reason.
+        assert not shifter(devices, 0.30).converts_correctly()
+
+    def test_upsizing_pulldowns_helps(self, devices):
+        probe = 0.52
+        small = shifter(devices, probe, width=4.0)
+        big = shifter(devices, probe, width=16.0)
+        assert not small.converts_correctly()
+        assert big.converts_correctly()
+
+    def test_min_convertible_bisection(self, devices):
+        ls = shifter(devices, 0.9, width=16.0)
+        vmin = min_convertible_vdd(ls, lo=0.3, hi=0.9, tol=0.02)
+        assert 0.40 < vmin < 0.60
+        assert ls.with_vdd_low(vmin + 0.02).converts_correctly()
+
+    def test_min_convertible_raises_when_hopeless(self, devices):
+        n, p = devices
+        tiny = LevelShifter(nfet=n, pfet=p, vdd_low=0.25, vdd_high=0.9,
+                            nfet_width_um=0.5)
+        with pytest.raises(ParameterError):
+            min_convertible_vdd(tiny, lo=0.1)

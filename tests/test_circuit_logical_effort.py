@@ -1,0 +1,91 @@
+"""Tests for logical-effort path sizing."""
+
+import pytest
+
+from repro.circuit.logical_effort import (
+    GATE_EFFORTS,
+    best_stage_count,
+    path_logical_effort,
+    path_parasitic,
+    size_path,
+)
+from repro.errors import ParameterError
+
+
+class TestPathAlgebra:
+    def test_inverter_effort_is_one(self):
+        assert path_logical_effort(["inv", "inv"]) == pytest.approx(1.0)
+
+    def test_nand_chain(self):
+        assert path_logical_effort(["nand2", "nand2"]) == pytest.approx(
+            (4.0 / 3.0) ** 2)
+
+    def test_parasitic_sum(self):
+        assert path_parasitic(["inv", "nand2"]) == pytest.approx(3.0)
+
+    def test_unknown_gate(self):
+        with pytest.raises(ParameterError):
+            path_logical_effort(["xor7"])
+
+
+class TestSizePath:
+    def test_equalised_stage_effort(self, inverter_sub):
+        timing = size_path(inverter_sub, ["inv", "nand2", "inv"], fanout=8.0)
+        g_total = path_logical_effort(["inv", "nand2", "inv"])
+        assert timing.stage_efforts == pytest.approx(
+            (g_total * 8.0) ** (1.0 / 3.0))
+
+    def test_sizes_grow_along_path(self, inverter_sub):
+        timing = size_path(inverter_sub, ["inv"] * 4, fanout=16.0)
+        sizes = timing.relative_sizes
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+        assert sizes[0] == pytest.approx(1.0)
+
+    def test_normalized_delay_formula(self, inverter_sub):
+        timing = size_path(inverter_sub, ["inv", "inv"], fanout=4.0)
+        expected = 2.0 * 2.0 + 2.0   # N*f_hat + P with f_hat = sqrt(4)
+        assert timing.normalized_delay == pytest.approx(expected)
+
+    def test_absolute_delay_scales_with_technology(self, inverter_sub,
+                                                   inverter_nominal):
+        gates = ["inv", "nand2", "inv"]
+        slow = size_path(inverter_sub, gates, fanout=8.0)
+        fast = size_path(inverter_nominal, gates, fanout=8.0)
+        # Same normalized delay, wildly different absolute delay.
+        assert slow.normalized_delay == pytest.approx(fast.normalized_delay)
+        assert slow.delay_s > 50.0 * fast.delay_s
+
+    def test_more_load_slower(self, inverter_sub):
+        t1 = size_path(inverter_sub, ["inv"] * 3, fanout=4.0)
+        t2 = size_path(inverter_sub, ["inv"] * 3, fanout=32.0)
+        assert t2.delay_s > t1.delay_s
+
+    def test_rejects_empty_path(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            size_path(inverter_sub, [], fanout=4.0)
+
+    def test_rejects_bad_fanout(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            size_path(inverter_sub, ["inv"], fanout=0.0)
+
+
+class TestBestStageCount:
+    def test_large_effort_wants_multiple_stages(self, inverter_sub):
+        n, _delay = best_stage_count(inverter_sub, total_effort=256.0)
+        assert n >= 3
+
+    def test_small_effort_wants_one_stage(self, inverter_sub):
+        n, _delay = best_stage_count(inverter_sub, total_effort=2.0)
+        assert n <= 2
+
+    def test_optimum_beats_neighbours(self, inverter_sub):
+        n, delay = best_stage_count(inverter_sub, total_effort=64.0)
+        for other in (n - 1, n + 1):
+            if other < 1:
+                continue
+            timing = size_path(inverter_sub, ["inv"] * other, 64.0)
+            assert timing.delay_s >= delay * 0.999
+
+    def test_rejects_effort_below_one(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            best_stage_count(inverter_sub, total_effort=0.5)

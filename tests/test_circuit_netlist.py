@@ -1,0 +1,97 @@
+"""Tests for the netlist representation."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit, GROUND, Transistor
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def inverter_circuit(nfet90, pfet90):
+    c = Circuit()
+    c.add_vsource("vdd", "vdd", 0.25)
+    c.add_vsource("vin", "in", 0.0)
+    c.add_inverter("inv1", "in", "out", "vdd", nfet90, pfet90)
+    return c
+
+
+class TestConstruction:
+    def test_nodes_collected(self, inverter_circuit):
+        assert inverter_circuit.all_nodes() == {GROUND, "vdd", "in", "out"}
+
+    def test_unknowns_exclude_fixed(self, inverter_circuit):
+        assert inverter_circuit.unknown_nodes() == ["out"]
+
+    def test_duplicate_name_rejected(self, inverter_circuit, nfet90):
+        with pytest.raises(ParameterError):
+            inverter_circuit.add_mosfet("inv1.mn", "x", "y", "0", nfet90)
+
+    def test_ground_source_rejected(self):
+        c = Circuit()
+        with pytest.raises(ParameterError):
+            c.add_vsource("bad", GROUND, 1.0)
+
+    def test_double_driven_node_rejected(self):
+        c = Circuit()
+        c.add_vsource("a", "n1", 1.0)
+        with pytest.raises(ParameterError):
+            c.add_vsource("b", "n1", 2.0)
+
+    def test_nonpositive_resistor_rejected(self):
+        c = Circuit()
+        with pytest.raises(ParameterError):
+            c.add_resistor("r", "a", "b", 0.0)
+
+    def test_nonpositive_capacitor_rejected(self):
+        c = Circuit()
+        with pytest.raises(ParameterError):
+            c.add_capacitor("c", "a", "b", -1e-15)
+
+    def test_waveform_source(self):
+        c = Circuit()
+        c.add_vsource("pulse", "n1", lambda t: 1.0 if t > 1e-9 else 0.0)
+        assert c.sources[0].value(0.0) == 0.0
+        assert c.sources[0].value(2e-9) == 1.0
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self, inverter_circuit):
+        inverter_circuit.validate()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ParameterError):
+            Circuit().validate()
+
+    def test_floating_node_rejected(self, nfet90):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", 1.0)
+        # "mid" connects only to a MOSFET gate: no current path.
+        c.add_mosfet("m1", "vdd", "mid", GROUND, nfet90)
+        c.add_resistor("r1", "vdd", "mid2", 1e3)
+        with pytest.raises(ParameterError):
+            c.validate()
+
+
+class TestTransistorStamp:
+    def test_nfet_forward(self, nfet90):
+        t = Transistor("m", "d", "g", "s", nfet90)
+        i = t.current_into_drain(0.25, 0.25, 0.0)
+        assert i == pytest.approx(float(nfet90.ids(0.25, 0.25)))
+
+    def test_nfet_reverse_symmetry(self, nfet90):
+        t = Transistor("m", "d", "g", "s", nfet90)
+        fwd = t.current_into_drain(0.25, 0.20, 0.0)
+        rev = t.current_into_drain(0.0, 0.20, 0.25)
+        assert rev == pytest.approx(-fwd)
+
+    def test_pfet_conducts_when_gate_low(self, pfet90):
+        t = Transistor("m", "d", "g", "s", pfet90)
+        on = t.current_into_drain(0.0, 0.0, 0.25)     # vgs = -vdd
+        off = t.current_into_drain(0.0, 0.25, 0.25)
+        assert on < 0.0                               # flows out of drain
+        assert abs(on) > 10.0 * abs(off)
+
+    def test_zero_bias_zero_current(self, nfet90):
+        t = Transistor("m", "d", "g", "s", nfet90)
+        assert t.current_into_drain(0.1, 0.2, 0.1) == pytest.approx(0.0,
+                                                                    abs=1e-18)

@@ -1,0 +1,43 @@
+"""Tests for the ring-oscillator extension."""
+
+import pytest
+
+from repro.circuit import RingOscillator
+from repro.errors import ParameterError
+
+
+class TestRingOscillator:
+    def test_frequency_formula(self, inverter_sub):
+        ro = RingOscillator(inverter_sub, n_stages=31)
+        expected = 1.0 / (2.0 * 31 * ro.stage_delay())
+        assert ro.frequency_hz() == pytest.approx(expected)
+
+    def test_subthreshold_ro_khz_mhz_class(self, inverter_sub):
+        # The paper's intro: sub-Vth circuits run in the kHz/low-MHz range.
+        freq = RingOscillator(inverter_sub, n_stages=31).frequency_hz()
+        assert 1e3 < freq < 5e7
+
+    def test_nominal_much_faster(self, inverter_sub, inverter_nominal):
+        f_sub = RingOscillator(inverter_sub).frequency_hz()
+        f_nom = RingOscillator(inverter_nominal).frequency_hz()
+        assert f_nom > 50.0 * f_sub
+
+    def test_more_stages_slower(self, inverter_sub):
+        f31 = RingOscillator(inverter_sub, n_stages=31).frequency_hz()
+        f101 = RingOscillator(inverter_sub, n_stages=101).frequency_hz()
+        assert f101 < f31
+
+    def test_power_positive(self, inverter_sub):
+        assert RingOscillator(inverter_sub).power_w() > 0.0
+
+    def test_rejects_even_stage_count(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            RingOscillator(inverter_sub, n_stages=30)
+
+    def test_rejects_single_stage(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            RingOscillator(inverter_sub, n_stages=1)
+
+    def test_rejects_bad_activity(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            RingOscillator(inverter_sub).power_w(activity=0.0)

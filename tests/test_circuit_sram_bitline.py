@@ -1,0 +1,80 @@
+"""Tests for the sub-V_th bitline read model (paper ref [16])."""
+
+import pytest
+
+from repro.circuit.sram import SramCell, bitline_read, max_bits_per_line
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def cell(nfet90, pfet90):
+    return SramCell(
+        pulldown=nfet90.with_width_um(2.0),
+        pullup=pfet90.with_width_um(1.0),
+        access=nfet90.with_width_um(1.0),
+        vdd=0.30,
+    )
+
+
+class TestBitlineRead:
+    def test_margin_shrinks_with_population(self, cell):
+        small = bitline_read(cell, 16)
+        big = bitline_read(cell, 1024)
+        assert big.margin_ratio < small.margin_ratio
+
+    def test_sense_time_grows_with_population(self, cell):
+        small = bitline_read(cell, 16)
+        big = bitline_read(cell, 256)
+        assert big.t_sense_s > small.t_sense_s
+
+    def test_single_cell_always_readable(self, cell):
+        report = bitline_read(cell, 1)
+        assert report.i_leak_total_a == 0.0
+        assert report.readable
+
+    def test_readability_threshold(self, cell):
+        limit = max_bits_per_line(cell)
+        assert bitline_read(cell, max(limit // 2, 1)).readable
+        assert not bitline_read(cell, 4 * limit).readable
+
+    def test_rejects_bad_population(self, cell):
+        with pytest.raises(ParameterError):
+            bitline_read(cell, 0)
+
+    def test_rejects_bad_swing(self, cell):
+        with pytest.raises(ParameterError):
+            bitline_read(cell, 16, sense_swing_v=1.0)
+
+
+class TestMaxBitsPerLine:
+    def test_reasonable_magnitude(self, cell):
+        limit = max_bits_per_line(cell)
+        assert 4 <= limit <= 1 << 14
+
+    def test_tighter_margin_fewer_bits(self, cell):
+        assert max_bits_per_line(cell, margin=4.0) < max_bits_per_line(
+            cell, margin=2.0)
+
+    def test_higher_vdd_more_bits(self, nfet90, pfet90):
+        def cell_at(vdd):
+            return SramCell(pulldown=nfet90.with_width_um(2.0),
+                            pullup=pfet90.with_width_um(1.0),
+                            access=nfet90.with_width_um(1.0), vdd=vdd)
+        assert (max_bits_per_line(cell_at(0.40))
+                > max_bits_per_line(cell_at(0.25)))
+
+    def test_sub_vth_strategy_supports_more_bits(self, super_family,
+                                                 sub_family):
+        def cell_from(design):
+            return SramCell(pulldown=design.nfet.with_width_um(2.0),
+                            pullup=design.pfet.with_width_um(1.0),
+                            access=design.nfet.with_width_um(1.0),
+                            vdd=0.30)
+        sup_cell = cell_from(super_family.design("32nm"))
+        sub_cell = cell_from(sub_family.design("32nm"))
+        assert (max_bits_per_line(sub_cell)
+                > 1.5 * max_bits_per_line(sup_cell))
+
+    def test_rejects_bad_margin(self, cell):
+        with pytest.raises(ParameterError):
+            max_bits_per_line(cell, margin=0.5)

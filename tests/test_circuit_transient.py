@@ -1,0 +1,59 @@
+"""Tests for the transient switching engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.transient import propagation_delay, switch_event
+from repro.errors import ParameterError
+
+
+class TestSwitchEvent:
+    def test_falling_transition(self, inverter_sub):
+        c_load = inverter_sub.load_capacitance(1)
+        result = switch_event(inverter_sub, c_load, falling=True)
+        assert result.falling
+        assert result.delay_s > 0.0
+        # Output must have crossed the midpoint.
+        assert result.vout_v[-1] <= 0.5 * inverter_sub.vdd + 1e-6
+
+    def test_rising_transition(self, inverter_sub):
+        c_load = inverter_sub.load_capacitance(1)
+        result = switch_event(inverter_sub, c_load, falling=False)
+        assert result.vout_v[-1] >= 0.5 * inverter_sub.vdd - 1e-6
+
+    def test_bigger_load_slower(self, inverter_sub):
+        c = inverter_sub.load_capacitance(1)
+        t1 = switch_event(inverter_sub, c, falling=True).delay_s
+        t2 = switch_event(inverter_sub, 3.0 * c, falling=True).delay_s
+        assert t2 == pytest.approx(3.0 * t1, rel=0.15)
+
+    def test_rejects_nonpositive_load(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            switch_event(inverter_sub, 0.0, falling=True)
+
+
+class TestPropagationDelay:
+    def test_average_of_edges(self, inverter_sub):
+        c = inverter_sub.load_capacitance(1)
+        t_hl = switch_event(inverter_sub, c, falling=True).delay_s
+        t_lh = switch_event(inverter_sub, c, falling=False).delay_s
+        tp = propagation_delay(inverter_sub, c)
+        assert tp == pytest.approx(0.5 * (t_hl + t_lh), rel=1e-6)
+
+    def test_nominal_much_faster_than_subthreshold(self, inverter_sub,
+                                                   inverter_nominal):
+        c_sub = inverter_sub.load_capacitance(1)
+        c_nom = inverter_nominal.load_capacitance(1)
+        t_sub = propagation_delay(inverter_sub, c_sub)
+        t_nom = propagation_delay(inverter_nominal, c_nom)
+        assert t_sub > 50.0 * t_nom
+
+    def test_exponential_sensitivity_to_vdd(self, inverter_sub):
+        # Lowering a sub-threshold supply by 50 mV slows the gate by
+        # several x (the exponential delay dependence of Eq. 5).
+        lower = inverter_sub.with_vdd(inverter_sub.vdd - 0.05)
+        c1 = inverter_sub.load_capacitance(1)
+        c2 = lower.load_capacitance(1)
+        t1 = propagation_delay(inverter_sub, c1)
+        t2 = propagation_delay(lower, c2)
+        assert t2 > 2.0 * t1

@@ -1,0 +1,95 @@
+"""Tests for the interconnect model."""
+
+import pytest
+
+from repro.circuit.wires import (
+    WireModel,
+    wire_energy_per_transition,
+)
+from repro.errors import ParameterError
+from repro.scaling.roadmap import node_by_name
+
+
+class TestWireModel:
+    def test_for_node_90nm_reference(self):
+        model = WireModel.for_node(node_by_name("90nm"))
+        assert model.c_per_um == pytest.approx(0.2e-15)
+        assert model.r_per_um == pytest.approx(1.0)
+
+    def test_resistance_grows_with_scaling(self):
+        r90 = WireModel.for_node(node_by_name("90nm")).r_per_um
+        r32 = WireModel.for_node(node_by_name("32nm")).r_per_um
+        assert r32 == pytest.approx(r90 / 0.7 ** 6, rel=1e-6)
+
+    def test_capacitance_constant_per_length(self):
+        c90 = WireModel.for_node(node_by_name("90nm")).c_per_um
+        c32 = WireModel.for_node(node_by_name("32nm")).c_per_um
+        assert c32 == pytest.approx(c90)
+
+    def test_totals_linear_in_length(self):
+        model = WireModel.for_node(node_by_name("45nm"))
+        assert model.capacitance(10.0) == pytest.approx(
+            10.0 * model.c_per_um)
+        assert model.resistance(10.0) == pytest.approx(
+            10.0 * model.r_per_um)
+
+    def test_rejects_negative_length(self):
+        model = WireModel.for_node(node_by_name("45nm"))
+        with pytest.raises(ParameterError):
+            model.capacitance(-1.0)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ParameterError):
+            WireModel(c_per_um=0.0, r_per_um=1.0)
+
+
+class TestElmore:
+    def test_quadratic_in_length(self):
+        model = WireModel.for_node(node_by_name("32nm"))
+        d1 = model.elmore_delay(100.0)
+        d2 = model.elmore_delay(200.0)
+        assert d2 == pytest.approx(4.0 * d1)
+
+    def test_load_term(self):
+        model = WireModel.for_node(node_by_name("32nm"))
+        bare = model.elmore_delay(100.0)
+        loaded = model.elmore_delay(100.0, c_load_f=1e-15)
+        assert loaded - bare == pytest.approx(
+            model.resistance(100.0) * 1e-15)
+
+    def test_wire_delay_negligible_vs_subthreshold_gate(self, inverter_sub):
+        # The reason the paper never mentions wire delay: a sub-V_th
+        # gate delay (~ns) dwarfs local-wire RC (~ps) by orders.
+        from repro.circuit.delay import analytic_delay
+        model = WireModel.for_node(node_by_name("32nm"))
+        gate = analytic_delay(inverter_sub)
+        allowed = model.rc_negligible_below_um(gate, c_load_f=2e-15)
+        assert allowed > 500.0       # ~1 mm-class before RC matters
+
+    def test_budget_validation(self):
+        model = WireModel.for_node(node_by_name("32nm"))
+        with pytest.raises(ParameterError):
+            model.rc_negligible_below_um(0.0)
+        with pytest.raises(ParameterError):
+            model.rc_negligible_below_um(1e-9, fraction=2.0)
+
+
+class TestWireEnergy:
+    def test_quadratic_in_vdd(self):
+        model = WireModel.for_node(node_by_name("32nm"))
+        e1 = wire_energy_per_transition(model, 10.0, 0.25)
+        e2 = wire_energy_per_transition(model, 10.0, 0.50)
+        assert e2 == pytest.approx(4.0 * e1)
+
+    def test_comparable_to_gate_energy(self, inverter_sub):
+        # A few um of wire costs energy comparable to a weak-inversion
+        # gate: wire load cannot be ignored in sub-V_th energy budgets.
+        model = WireModel.for_node(node_by_name("90nm"))
+        wire = wire_energy_per_transition(model, 5.0, inverter_sub.vdd)
+        gate = inverter_sub.input_capacitance() * inverter_sub.vdd ** 2
+        assert 0.05 < wire / gate < 20.0
+
+    def test_rejects_bad_vdd(self):
+        model = WireModel.for_node(node_by_name("45nm"))
+        with pytest.raises(ParameterError):
+            wire_energy_per_transition(model, 1.0, 0.0)

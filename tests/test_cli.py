@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "table2" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Generalized scaling" in out
+        assert "[OK ]" in out
+
+    def test_run_fast_figure(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "S_S" in out
+
+    def test_run_unknown_raises(self):
+        from repro.errors import ExperimentError
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_run_with_plot(self, capsys):
+        assert main(["run", "fig2", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "S_S (super-vth)" in out
+        assert "+" in out                    # chart frame present
+
+    def test_cards_command(self, capsys):
+        assert main(["cards", "sub-vth"]) == 0
+        out = capsys.readouterr().out
+        assert "family cards: sub-vth" in out
+        assert "32nm" in out
+
+    def test_cards_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["cards", "quantum-vth"])
+
+    def test_save_family_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "family.json"
+        assert main(["save-family", "super-vth", str(path)]) == 0
+        from repro.io import family_from_dict, load_json
+        family = family_from_dict(load_json(path))
+        assert family.node_names() == ("90nm", "65nm", "45nm", "32nm")

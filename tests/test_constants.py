@@ -1,0 +1,81 @@
+"""Tests for physical constants and unit conversions."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    CM_PER_NM,
+    CM_PER_UM,
+    EPS_OX,
+    EPS_OX_REL,
+    EPS_SI,
+    EPS_SI_REL,
+    K_B,
+    LN10,
+    NI_300K,
+    Q,
+    cm_to_nm,
+    cm_to_um,
+    nm_to_cm,
+    thermal_voltage,
+    um_to_cm,
+)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.025852, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        assert thermal_voltage(600.0) == pytest.approx(
+            2.0 * thermal_voltage(300.0))
+
+    def test_rejects_zero_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(-10.0)
+
+
+class TestPermittivities:
+    def test_silicon_over_oxide_ratio_is_three(self):
+        assert EPS_SI / EPS_OX == pytest.approx(EPS_SI_REL / EPS_OX_REL)
+        assert EPS_SI_REL / EPS_OX_REL == pytest.approx(3.0)
+
+    def test_absolute_values(self):
+        assert EPS_SI == pytest.approx(1.0359e-12, rel=1e-3)
+        assert EPS_OX == pytest.approx(3.453e-13, rel=1e-3)
+
+
+class TestFundamental:
+    def test_elementary_charge(self):
+        assert Q == pytest.approx(1.602e-19, rel=1e-3)
+
+    def test_boltzmann(self):
+        assert K_B == pytest.approx(1.381e-23, rel=1e-3)
+
+    def test_ln10(self):
+        assert LN10 == pytest.approx(math.log(10.0))
+
+    def test_intrinsic_concentration_reference(self):
+        assert NI_300K == 1.0e10
+
+
+class TestConversions:
+    def test_nm_roundtrip(self):
+        assert cm_to_nm(nm_to_cm(65.0)) == pytest.approx(65.0)
+
+    def test_um_roundtrip(self):
+        assert cm_to_um(um_to_cm(2.5)) == pytest.approx(2.5)
+
+    def test_nm_to_cm_factor(self):
+        assert nm_to_cm(1.0) == CM_PER_NM == 1e-7
+
+    def test_um_to_cm_factor(self):
+        assert um_to_cm(1.0) == CM_PER_UM == 1e-4
+
+    def test_thousand_nm_is_one_um(self):
+        assert nm_to_cm(1000.0) == pytest.approx(um_to_cm(1.0))

@@ -1,0 +1,114 @@
+"""Tests for gate/parasitic capacitances."""
+
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device import nfet
+from repro.device.capacitance import CapacitanceModel
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                n_p_halo_cm3=1.5e18)
+
+
+@pytest.fixture(scope="module")
+def cap(dev):
+    return dev.capacitance
+
+
+class TestComponents:
+    def test_intrinsic_value(self, cap, dev):
+        expected = (dev.stack.capacitance_per_area
+                    * dev.geometry.width_cm * dev.geometry.l_eff_cm)
+        assert cap.c_gate_intrinsic == pytest.approx(expected)
+
+    def test_overlap_both_sides(self, cap, dev):
+        expected = (2.0 * dev.stack.capacitance_per_area
+                    * dev.geometry.width_cm * dev.geometry.overlap_cm)
+        assert cap.c_overlap == pytest.approx(expected)
+
+    def test_fringe_positive(self, cap):
+        assert cap.c_fringe > 0.0
+
+    def test_gate_is_sum(self, cap):
+        assert cap.c_gate == pytest.approx(
+            cap.c_gate_intrinsic + cap.c_overlap + cap.c_fringe)
+
+    def test_femto_farad_scale(self, cap):
+        assert 1e-16 < cap.c_gate < 1e-14
+
+    def test_junction_falls_with_reverse_bias(self, cap):
+        assert cap.c_junction(1.0) < cap.c_junction(0.0)
+
+    def test_junction_rejects_negative_bias(self, cap):
+        with pytest.raises(ParameterError):
+            cap.c_junction(-0.5)
+
+
+class TestLoads:
+    def test_fo1_exceeds_gate(self, cap):
+        assert cap.c_load_fanout(1) > cap.c_gate
+
+    def test_fanout_linear(self, cap):
+        c1 = cap.c_load_fanout(1)
+        c3 = cap.c_load_fanout(3)
+        assert c3 - c1 == pytest.approx(2.0 * cap.c_gate, rel=1e-9)
+
+    def test_fanout_zero_is_self_loading(self, cap):
+        assert cap.c_load_fanout(0) == pytest.approx(cap.c_drain())
+
+    def test_rejects_negative_fanout(self, cap):
+        with pytest.raises(ParameterError):
+            cap.c_load_fanout(-1)
+
+
+class TestWeakInversionGateCap:
+    def test_weak_below_strong(self, cap, dev):
+        weak = cap.c_gate_weak(dev.slope_factor)
+        assert weak < cap.c_gate
+
+    def test_weak_keeps_parasitics(self, cap, dev):
+        weak = cap.c_gate_weak(dev.slope_factor)
+        assert weak > cap.c_overlap + cap.c_fringe
+
+    def test_effective_interpolates(self, cap, dev):
+        vth = dev.vth(0.25)
+        weak = cap.c_gate_weak(dev.slope_factor)
+        deep = cap.c_gate_effective(0.1, vth, dev.slope_factor)
+        nominal = cap.c_gate_effective(1.2, vth, dev.slope_factor)
+        assert deep == pytest.approx(weak, rel=0.05)
+        assert nominal == pytest.approx(cap.c_gate, rel=0.05)
+        mid = cap.c_gate_effective(vth, vth, dev.slope_factor)
+        assert weak < mid < cap.c_gate
+
+    def test_effective_monotone_in_vdd(self, cap, dev):
+        vth = dev.vth(0.25)
+        values = [cap.c_gate_effective(v, vth, dev.slope_factor)
+                  for v in (0.1, 0.3, 0.5, 0.8, 1.2)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_weak_rejects_bad_slope(self, cap):
+        with pytest.raises(ParameterError):
+            cap.c_gate_weak(1.0)
+
+    def test_effective_rejects_nonpositive_vdd(self, cap, dev):
+        with pytest.raises(ParameterError):
+            cap.c_gate_effective(0.0, 0.4, dev.slope_factor)
+
+
+class TestScalingBehaviour:
+    def test_longer_gate_more_intrinsic_cap(self):
+        short = nfet(32, 1.7, 2e18, 2e18)
+        long = nfet(64, 1.7, 2e18, 2e18, reference_nm=32)
+        assert (long.capacitance.c_gate_intrinsic
+                > 1.8 * short.capacitance.c_gate_intrinsic)
+        # But parasitics are node-tied, so total grows less than 2x.
+        assert long.capacitance.c_gate < 2.0 * short.capacitance.c_gate
+
+    def test_thinner_oxide_more_cap(self):
+        thick = nfet(65, 2.1, 1.2e18, 1.5e18)
+        thin = nfet(65, 1.5, 1.2e18, 1.5e18)
+        assert thin.capacitance.c_gate > thick.capacitance.c_gate

@@ -1,0 +1,77 @@
+"""Tests for global process corners."""
+
+import pytest
+
+from repro.device.corners import (
+    Corner,
+    CornerSpec,
+    at_corner,
+    corner_report,
+    ff_ss_delay_spread,
+)
+from repro.errors import ParameterError
+
+
+class TestAtCorner:
+    def test_tt_is_identity(self, nfet90):
+        assert at_corner(nfet90, Corner.TT) is nfet90
+
+    def test_ff_lowers_vth(self, nfet90):
+        assert at_corner(nfet90, Corner.FF).vth(0.1) < nfet90.vth(0.1)
+
+    def test_ss_raises_vth(self, nfet90):
+        assert at_corner(nfet90, Corner.SS).vth(0.1) > nfet90.vth(0.1)
+
+    def test_ff_leaks_more(self, nfet90):
+        assert at_corner(nfet90, Corner.FF).i_off(1.0) > nfet90.i_off(1.0)
+
+    def test_ff_drives_more(self, nfet90):
+        assert at_corner(nfet90, Corner.FF).i_on(0.25) > nfet90.i_on(0.25)
+
+    def test_halo_scaled_with_substrate(self, nfet90):
+        ff = at_corner(nfet90, Corner.FF)
+        ratio_base = (nfet90.profile.n_p_halo_cm3
+                      / nfet90.profile.n_sub_cm3)
+        ratio_ff = ff.profile.n_p_halo_cm3 / ff.profile.n_sub_cm3
+        assert ratio_ff == pytest.approx(ratio_base, rel=1e-9)
+
+    def test_halo_free_device(self):
+        from repro.device import nfet
+        dev = nfet(65, 2.1, 1.5e18)
+        ss = at_corner(dev, Corner.SS)
+        assert ss.profile.halo is None
+        assert ss.vth(0.1) > dev.vth(0.1)
+
+    def test_spec_validation(self):
+        with pytest.raises(ParameterError):
+            CornerSpec(tox_sigma_pct=-1.0)
+        with pytest.raises(ParameterError):
+            CornerSpec(doping_sigma_pct=60.0)
+
+
+class TestReports:
+    def test_report_structure(self, nfet90):
+        report = corner_report(nfet90, 0.25)
+        assert set(report) == {"tt", "ff", "ss"}
+        assert report["ff"]["vth_mv"] < report["ss"]["vth_mv"]
+
+    def test_report_rejects_bad_vdd(self, nfet90):
+        with pytest.raises(ParameterError):
+            corner_report(nfet90, 0.0)
+
+    def test_subthreshold_spread_exponential(self, nfet90):
+        # The classic sub-V_th sign-off pain: FF/SS spread is much
+        # larger at 250 mV than at nominal supply.
+        sub = ff_ss_delay_spread(nfet90, 0.25)
+        nominal = ff_ss_delay_spread(nfet90, 1.2)
+        assert sub > 2.0 * nominal
+        assert sub > 3.0
+
+    def test_larger_sigmas_larger_spread(self, nfet90):
+        small = ff_ss_delay_spread(nfet90, 0.25,
+                                   CornerSpec(tox_sigma_pct=2.0,
+                                              doping_sigma_pct=2.0))
+        large = ff_ss_delay_spread(nfet90, 0.25,
+                                   CornerSpec(tox_sigma_pct=8.0,
+                                              doping_sigma_pct=10.0))
+        assert large > small

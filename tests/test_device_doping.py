@@ -1,0 +1,129 @@
+"""Tests for doping profiles (substrate + Gaussian halos)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device.doping import DopingProfile, HaloImplant
+from repro.device.geometry import DeviceGeometry
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def halo():
+    return HaloImplant(peak_cm3=2e18, sigma_x_cm=nm_to_cm(10.0),
+                       sigma_y_cm=nm_to_cm(12.0), depth_cm=nm_to_cm(18.0))
+
+
+@pytest.fixture()
+def profile(halo):
+    return DopingProfile(n_sub_cm3=1.2e18, halo=halo)
+
+
+class TestHaloImplant:
+    def test_lateral_average_short_channel_limit(self, halo):
+        # As L -> 0 the two pockets merge: average -> 2 * peak.
+        tiny = halo.lateral_average(nm_to_cm(0.01))
+        assert tiny == pytest.approx(2.0 * halo.peak_cm3, rel=1e-3)
+
+    def test_lateral_average_long_channel_limit(self, halo):
+        big = halo.lateral_average(nm_to_cm(5000.0))
+        assert big < 0.02 * halo.peak_cm3
+
+    def test_lateral_average_monotone_in_length(self, halo):
+        lengths = [nm_to_cm(l) for l in (10, 20, 40, 80, 160)]
+        values = [halo.lateral_average(l) for l in lengths]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_lateral_average_matches_numeric_integral(self, halo):
+        l_eff = nm_to_cm(45.0)
+        x = np.linspace(0.0, l_eff, 20001)
+        s = halo.sigma_x_cm
+        numeric = np.trapezoid(
+            halo.peak_cm3 * (np.exp(-x ** 2 / (2 * s ** 2))
+                             + np.exp(-(x - l_eff) ** 2 / (2 * s ** 2))),
+            x) / l_eff
+        assert halo.lateral_average(l_eff) == pytest.approx(numeric, rel=1e-4)
+
+    def test_vertical_weight_peaks_at_depth(self, halo):
+        assert halo.vertical_weight(halo.depth_cm) == pytest.approx(1.0)
+        assert halo.vertical_weight(0.0) < 1.0
+
+    def test_vertical_average_matches_numeric(self, halo):
+        limit = nm_to_cm(25.0)
+        y = np.linspace(0.0, limit, 20001)
+        numeric = np.trapezoid(halo.vertical_weight(y), y) / limit
+        assert halo.vertical_average(limit) == pytest.approx(numeric, rel=1e-4)
+
+    def test_for_geometry(self):
+        g = DeviceGeometry.from_nm(65.0)
+        h = HaloImplant.for_geometry(g, 2e18)
+        assert h.peak_cm3 == 2e18
+        assert h.sigma_x_cm < g.junction_depth_cm
+
+    def test_for_geometry_requires_junction(self):
+        g = DeviceGeometry(l_poly_cm=nm_to_cm(65.0))
+        with pytest.raises(ParameterError):
+            HaloImplant.for_geometry(g, 2e18)
+
+    def test_scaled(self, halo):
+        s = halo.scaled(0.7, peak_factor=1.2)
+        assert s.sigma_x_cm == pytest.approx(0.7 * halo.sigma_x_cm)
+        assert s.peak_cm3 == pytest.approx(1.2 * halo.peak_cm3)
+
+    def test_rejects_negative_peak(self):
+        with pytest.raises(ParameterError):
+            HaloImplant(peak_cm3=-1.0, sigma_x_cm=1e-7, sigma_y_cm=1e-7,
+                        depth_cm=0.0)
+
+
+class TestDopingProfile:
+    def test_net_halo_is_sum(self, profile):
+        assert profile.n_halo_net_cm3 == pytest.approx(1.2e18 + 2e18)
+
+    def test_halo_free_profile(self):
+        p = DopingProfile(n_sub_cm3=1e18)
+        assert p.n_halo_net_cm3 == pytest.approx(1e18)
+        assert p.effective_channel_doping(nm_to_cm(45.0)) == pytest.approx(1e18)
+
+    def test_effective_doping_rollup(self, profile):
+        short = profile.effective_channel_doping(nm_to_cm(20.0))
+        long = profile.effective_channel_doping(nm_to_cm(200.0))
+        assert short > long > profile.n_sub_cm3
+
+    def test_vertical_profile_shape(self, profile):
+        depths = np.linspace(0.0, nm_to_cm(60.0), 101)
+        n = profile.vertical_profile(depths, nm_to_cm(45.0))
+        assert n.shape == depths.shape
+        assert np.all(n >= profile.n_sub_cm3)
+        # Peak near the halo depth.
+        peak_idx = int(np.argmax(n))
+        assert abs(depths[peak_idx] - profile.halo.depth_cm) < nm_to_cm(2.0)
+
+    def test_raster2d_consistent_with_vertical(self, profile):
+        l_eff = nm_to_cm(45.0)
+        x = np.linspace(0.0, l_eff, 501)
+        y = np.linspace(0.0, nm_to_cm(60.0), 101)
+        field = profile.raster2d(x, y, l_eff)
+        assert field.shape == (x.size, y.size)
+        # Lateral average of the 2-D map equals the vertical-profile cut.
+        avg = field.mean(axis=0)
+        expected = profile.vertical_profile(y, l_eff)
+        assert np.allclose(avg, expected, rtol=0.02)
+
+    def test_with_substrate(self, profile):
+        assert profile.with_substrate(2e18).n_sub_cm3 == 2e18
+
+    def test_with_halo_peak(self, profile):
+        assert profile.with_halo_peak(5e18).n_p_halo_cm3 == 5e18
+
+    def test_with_halo_peak_requires_halo(self):
+        with pytest.raises(ParameterError):
+            DopingProfile(n_sub_cm3=1e18).with_halo_peak(1e18)
+
+    def test_without_halo(self, profile):
+        assert profile.without_halo().halo is None
+
+    def test_rejects_nonpositive_substrate(self):
+        with pytest.raises(ParameterError):
+            DopingProfile(n_sub_cm3=0.0)

@@ -1,0 +1,105 @@
+"""Tests for 1-D MOS electrostatics."""
+
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device.doping import DopingProfile, HaloImplant
+from repro.device.electrostatics import (
+    body_factor,
+    depletion_capacitance,
+    depletion_width,
+    flatband_voltage,
+    self_consistent_channel_doping,
+    slope_factor,
+)
+from repro.errors import ParameterError
+from repro.materials.oxide import sio2
+
+
+STACK = sio2(nm_to_cm(2.1))
+
+
+class TestDepletionWidth:
+    def test_typical_value(self):
+        # ~2.4e-6 cm at 2e18, psi_s = 2 phi_F.
+        w = depletion_width(2e18)
+        assert 2.0e-6 < w < 3.0e-6
+
+    def test_shrinks_with_doping(self):
+        assert depletion_width(1e19) < depletion_width(1e18)
+
+    def test_explicit_surface_potential(self):
+        w1 = depletion_width(2e18, surface_potential_v=0.5)
+        w2 = depletion_width(2e18, surface_potential_v=1.0)
+        assert w2 == pytest.approx(w1 * 2.0 ** 0.5)
+
+    def test_rejects_nonpositive_doping(self):
+        with pytest.raises(ParameterError):
+            depletion_width(0.0)
+
+    def test_rejects_nonpositive_potential(self):
+        with pytest.raises(ParameterError):
+            depletion_width(1e18, surface_potential_v=-0.1)
+
+
+class TestCapacitancesAndFactors:
+    def test_depletion_capacitance_inverse_width(self):
+        c = depletion_capacitance(2e18)
+        w = depletion_width(2e18)
+        assert c == pytest.approx(1.0359e-12 / w, rel=1e-3)
+
+    def test_body_factor_value(self):
+        g = body_factor(2e18, STACK)
+        assert 0.3 < g < 0.8
+
+    def test_body_factor_sqrt_doping(self):
+        assert body_factor(4e18, STACK) == pytest.approx(
+            2.0 * body_factor(1e18, STACK))
+
+    def test_slope_factor_above_one(self):
+        m = slope_factor(2e18, STACK)
+        assert 1.1 < m < 1.6
+
+    def test_slope_factor_grows_with_doping(self):
+        assert slope_factor(1e19, STACK) > slope_factor(1e18, STACK)
+
+    def test_slope_factor_grows_with_tox(self):
+        thick = sio2(nm_to_cm(4.0))
+        assert slope_factor(2e18, thick) > slope_factor(2e18, STACK)
+
+
+class TestFlatband:
+    def test_nplus_gate_negative(self):
+        assert flatband_voltage(2e18, gate="n+poly") < -0.9
+
+    def test_pplus_gate_mirror(self):
+        assert flatband_voltage(2e18, gate="p+poly") == pytest.approx(
+            -flatband_voltage(2e18, gate="n+poly"))
+
+    def test_unknown_gate(self):
+        with pytest.raises(ParameterError):
+            flatband_voltage(2e18, gate="metal-midgap")
+
+
+class TestSelfConsistency:
+    def test_fixed_point_converges(self):
+        geometry_scale = nm_to_cm(65.0)
+        halo = HaloImplant(peak_cm3=3e18,
+                           sigma_x_cm=0.175 * geometry_scale,
+                           sigma_y_cm=0.225 * geometry_scale,
+                           depth_cm=0.3 * geometry_scale)
+        profile = DopingProfile(n_sub_cm3=1.2e18, halo=halo)
+        n_eff, w_dep = self_consistent_channel_doping(
+            profile, nm_to_cm(52.0))
+        assert n_eff > profile.n_sub_cm3
+        assert 5e-7 < w_dep < 5e-6
+        # Verify it is a fixed point.
+        n_check = profile.effective_channel_doping(nm_to_cm(52.0),
+                                                   depth_limit_cm=w_dep)
+        assert n_check == pytest.approx(n_eff, rel=1e-3)
+
+    def test_halo_free_is_trivial_fixed_point(self):
+        profile = DopingProfile(n_sub_cm3=1.5e18)
+        n_eff, w_dep = self_consistent_channel_doping(profile, nm_to_cm(50.0))
+        assert n_eff == pytest.approx(1.5e18)
+        assert w_dep == pytest.approx(depletion_width(1.5e18), rel=1e-6)

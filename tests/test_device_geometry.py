@@ -1,0 +1,93 @@
+"""Tests for device geometry."""
+
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device.geometry import (
+    DeviceGeometry,
+    JUNCTION_DEPTH_FRACTION,
+    OVERLAP_FRACTION,
+)
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_from_nm_basic(self):
+        g = DeviceGeometry.from_nm(65.0)
+        assert g.l_poly_nm == pytest.approx(65.0)
+        assert g.width_um == pytest.approx(1.0)
+
+    def test_effective_length(self):
+        g = DeviceGeometry.from_nm(65.0)
+        expected = 65.0 * (1.0 - 2.0 * OVERLAP_FRACTION)
+        assert g.l_eff_nm == pytest.approx(expected)
+
+    def test_junction_depth_proportional(self):
+        g = DeviceGeometry.from_nm(65.0)
+        assert g.junction_depth_cm == pytest.approx(
+            JUNCTION_DEPTH_FRACTION * nm_to_cm(65.0))
+
+    def test_reference_decouples_parasitics(self):
+        # Sub-V_th convention: longer gate, node-scale parasitics.
+        g = DeviceGeometry.from_nm(60.0, reference_nm=32.0)
+        assert g.l_poly_nm == pytest.approx(60.0)
+        assert g.junction_depth_cm == pytest.approx(
+            JUNCTION_DEPTH_FRACTION * nm_to_cm(32.0))
+        assert g.l_eff_nm == pytest.approx(
+            60.0 - 2.0 * OVERLAP_FRACTION * 32.0)
+
+    def test_aspect_ratio(self):
+        g = DeviceGeometry.from_nm(65.0, width_um=2.0)
+        assert g.aspect_ratio == pytest.approx(
+            2.0e-4 / g.l_eff_cm)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ParameterError):
+            DeviceGeometry(l_poly_cm=0.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ParameterError):
+            DeviceGeometry(l_poly_cm=1e-6, width_cm=0.0)
+
+    def test_rejects_overlap_consuming_gate(self):
+        with pytest.raises(ParameterError):
+            DeviceGeometry(l_poly_cm=nm_to_cm(20.0),
+                           overlap_cm=nm_to_cm(15.0))
+
+    def test_rejects_negative_junction_depth(self):
+        with pytest.raises(ParameterError):
+            DeviceGeometry(l_poly_cm=1e-6, junction_depth_cm=-1e-7)
+
+
+class TestTransforms:
+    def test_with_gate_length_keeps_parasitics(self):
+        g = DeviceGeometry.from_nm(32.0)
+        longer = g.with_gate_length(nm_to_cm(64.0))
+        assert longer.l_poly_nm == pytest.approx(64.0)
+        assert longer.junction_depth_cm == pytest.approx(g.junction_depth_cm)
+        assert longer.overlap_cm == pytest.approx(g.overlap_cm)
+
+    def test_with_gate_length_rescaled(self):
+        g = DeviceGeometry.from_nm(32.0)
+        longer = g.with_gate_length(nm_to_cm(64.0), rescale_parasitics=True)
+        assert longer.junction_depth_cm == pytest.approx(
+            2.0 * g.junction_depth_cm)
+
+    def test_with_width(self):
+        g = DeviceGeometry.from_nm(65.0).with_width(2e-4)
+        assert g.width_um == pytest.approx(2.0)
+
+    def test_scaled_uniform(self):
+        g = DeviceGeometry.from_nm(65.0)
+        s = g.scaled(0.7)
+        assert s.l_poly_nm == pytest.approx(65.0 * 0.7)
+        assert s.width_um == pytest.approx(0.7)
+        assert s.overlap_cm == pytest.approx(0.7 * g.overlap_cm)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            DeviceGeometry.from_nm(65.0).scaled(-1.0)
+
+    def test_proportional_rejects_bad_reference(self):
+        with pytest.raises(ParameterError):
+            DeviceGeometry.proportional(1e-6, reference_cm=0.0)

@@ -1,0 +1,108 @@
+"""Tests for the unified EKV-style I-V model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import thermal_voltage
+from repro.device import nfet
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def dev():
+    return nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                n_p_halo_cm3=1.5e18)
+
+
+class TestCurrentBasics:
+    def test_positive_current(self, dev):
+        assert dev.ids(0.5, 0.5) > 0.0
+
+    def test_zero_vds_zero_current(self, dev):
+        assert dev.ids(0.5, 0.0) == pytest.approx(0.0, abs=1e-18)
+
+    def test_monotone_in_vgs(self, dev):
+        vgs = np.linspace(0.0, 1.2, 40)
+        currents = dev.iv.ids(vgs, np.full_like(vgs, 1.0))
+        assert np.all(np.diff(currents) > 0.0)
+
+    def test_monotone_in_vds(self, dev):
+        # The velocity-saturation interpolation can produce a tiny
+        # (<3%) negative-differential-resistance artifact near V_dsat,
+        # as many compact models do; require monotonicity within that.
+        vds = np.linspace(0.0, 1.2, 40)
+        currents = dev.iv.ids(np.full_like(vds, 0.6), vds)
+        floor = -0.03 * currents[:-1]
+        assert np.all(np.diff(currents) > floor)
+
+    def test_rejects_negative_vds(self, dev):
+        with pytest.raises(ParameterError):
+            dev.ids(0.5, -0.1)
+
+    def test_scalar_in_scalar_out(self, dev):
+        assert isinstance(dev.ids(0.3, 0.3), float)
+
+    def test_array_broadcast(self, dev):
+        vgs = np.linspace(0, 1, 11)
+        out = dev.iv.ids(vgs, np.full_like(vgs, 0.5))
+        assert out.shape == vgs.shape
+
+
+class TestSubthresholdRegion:
+    def test_exponential_slope_matches_ss(self, dev):
+        # Extract the log-slope deep below threshold (where the EKV
+        # interpolation is purely exponential); must match the analytic
+        # S_S within a few percent.
+        vth = dev.vth(0.1)
+        vgs = np.linspace(vth - 0.50, vth - 0.30, 21)
+        currents = dev.iv.ids(vgs, np.full_like(vgs, 0.1))
+        slope = np.polyfit(np.log10(currents), vgs, 1)[0]
+        assert slope == pytest.approx(dev.ss_v_per_dec, rel=0.05)
+
+    def test_drain_factor_in_weak_inversion(self, dev):
+        vth = dev.vth(0.05)
+        vt = thermal_voltage()
+        i1 = dev.ids(vth - 0.2, 0.5 * vt)
+        i2 = dev.ids(vth - 0.2, 10.0 * vt)
+        expected = (1 - np.exp(-0.5)) / (1 - np.exp(-10.0))
+        assert i1 / i2 == pytest.approx(expected, rel=0.15)
+
+    def test_width_proportionality(self, dev):
+        wide = dev.with_width_um(2.0)
+        assert wide.i_off(1.2) == pytest.approx(2.0 * dev.i_off(1.2),
+                                                rel=1e-6)
+
+
+class TestStrongInversion:
+    def test_saturation(self, dev):
+        # Beyond V_dsat the current stops growing quickly with vds.
+        i1 = dev.ids(1.2, 0.9)
+        i2 = dev.ids(1.2, 1.2)
+        assert i2 / i1 < 1.25
+
+    def test_on_current_magnitude(self, dev):
+        # A 90nm-class LSTP-like device: tens to hundreds of uA/um.
+        ion = dev.i_on_per_um(1.2)
+        assert 3e-5 < ion < 1e-3
+
+
+class TestDibl:
+    def test_vth_falls_with_vds(self, dev):
+        assert dev.vth(1.2) < dev.vth(0.05)
+
+    def test_ioff_grows_with_vdd(self, dev):
+        assert dev.i_off(1.2) > dev.i_off(0.6)
+
+
+class TestVthOffset:
+    def test_offset_shifts_vth(self, dev):
+        shifted = dev.with_vth_offset(0.05)
+        assert shifted.vth(0.1) == pytest.approx(dev.vth(0.1) + 0.05)
+
+    def test_offset_reduces_current(self, dev):
+        shifted = dev.with_vth_offset(0.05)
+        assert shifted.ids(0.3, 0.3) < dev.ids(0.3, 0.3)
+
+    def test_negative_offset_increases_leakage(self, dev):
+        shifted = dev.with_vth_offset(-0.05)
+        assert shifted.i_off(1.0) > dev.i_off(1.0)

@@ -1,0 +1,92 @@
+"""Tests for the MOSFET facade."""
+
+import pytest
+
+from repro.device import MOSFET, Polarity, nfet, pfet
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def n90():
+    return nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                n_p_halo_cm3=1.5e18)
+
+
+@pytest.fixture(scope="module")
+def p90():
+    return pfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                n_p_halo_cm3=1.5e18)
+
+
+class TestConstruction:
+    def test_polarity(self, n90, p90):
+        assert n90.polarity is Polarity.NFET
+        assert p90.polarity is Polarity.PFET
+
+    def test_default_widths(self, n90, p90):
+        assert n90.geometry.width_um == pytest.approx(1.0)
+        assert p90.geometry.width_um == pytest.approx(2.0)
+
+    def test_halo_free_construction(self):
+        dev = nfet(65, 2.1, 1.5e18)
+        assert dev.profile.halo is None
+
+    def test_submodels_available(self, n90):
+        assert n90.iv is not None
+        assert n90.capacitance is not None
+        assert n90.threshold is not None
+
+
+class TestDerivedMetrics:
+    def test_ss_in_plausible_band(self, n90):
+        assert 70.0 < n90.ss_mv_per_dec < 100.0
+
+    def test_ss_units_consistent(self, n90):
+        assert n90.ss_mv_per_dec == pytest.approx(1000.0 * n90.ss_v_per_dec)
+
+    def test_pfet_slower(self, n90, p90):
+        # Same doping/geometry scale, hole mobility: less current per um.
+        assert p90.i_on_per_um(1.2) < n90.i_on_per_um(1.2)
+
+    def test_on_off_ratio_large_at_nominal(self, n90):
+        assert n90.on_off_ratio(1.2) > 1e4
+
+    def test_intrinsic_delay_positive(self, n90):
+        assert 0.0 < n90.intrinsic_delay(1.2) < 1e-9
+
+    def test_vth_sat_cc_below_linear_cc(self, n90):
+        assert n90.vth_sat_cc(1.2) < n90.vth_sat_cc(0.1)
+
+    def test_per_um_normalisation(self, p90):
+        assert p90.i_off_per_um(1.2) == pytest.approx(
+            p90.i_off(1.2) / 2.0)
+
+
+class TestTransforms:
+    def test_with_profile(self, n90):
+        heavier = n90.with_profile(n90.profile.with_substrate(3e18))
+        assert heavier.vth(0.1) > n90.vth(0.1)
+
+    def test_with_geometry(self, n90):
+        longer = n90.with_geometry(
+            n90.geometry.with_gate_length(2.0 * n90.geometry.l_poly_cm))
+        assert longer.ss_v_per_dec < n90.ss_v_per_dec
+
+    def test_with_width_um(self, n90):
+        assert n90.with_width_um(3.0).geometry.width_um == pytest.approx(3.0)
+
+    def test_frozen(self, n90):
+        with pytest.raises(Exception):
+            n90.temperature_k = 400.0
+
+
+class TestTemperature:
+    def test_hot_device_leaks_more(self):
+        cold = nfet(65, 2.1, 1.2e18, 1.5e18, temperature_k=300.0)
+        hot = nfet(65, 2.1, 1.2e18, 1.5e18, temperature_k=360.0)
+        assert hot.i_off(1.2) > 3.0 * cold.i_off(1.2)
+
+    def test_hot_device_worse_slope(self):
+        cold = nfet(65, 2.1, 1.2e18, 1.5e18, temperature_k=300.0)
+        hot = nfet(65, 2.1, 1.2e18, 1.5e18, temperature_k=360.0)
+        assert hot.ss_mv_per_dec > cold.ss_mv_per_dec

@@ -1,0 +1,127 @@
+"""Tests for the weak-inversion current and S_S expressions."""
+
+import math
+
+import pytest
+
+from repro.constants import LN10, nm_to_cm, thermal_voltage
+from repro.device.subthreshold import (
+    SCE_PREFACTOR_DEFAULT,
+    TAUR_NING_PREFACTOR,
+    decades_of_drive,
+    inverse_subthreshold_slope,
+    on_off_ratio,
+    short_channel_slope_degradation,
+    slope_factor_from_widths,
+    subthreshold_current,
+)
+from repro.errors import ParameterError
+from repro.materials.oxide import sio2
+
+STACK = sio2(nm_to_cm(2.1))
+W_DEP = 2.3e-6
+
+
+class TestSlopeFactor:
+    def test_formula(self):
+        m = slope_factor_from_widths(nm_to_cm(2.1), W_DEP)
+        assert m == pytest.approx(1.0 + 3.0 * nm_to_cm(2.1) / W_DEP)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            slope_factor_from_widths(0.0, W_DEP)
+
+
+class TestShortChannelDegradation:
+    def test_at_least_one(self):
+        f = short_channel_slope_degradation(nm_to_cm(2.1), W_DEP,
+                                            nm_to_cm(45.0))
+        assert f >= 1.0
+
+    def test_vanishes_at_long_channel(self):
+        f = short_channel_slope_degradation(nm_to_cm(2.1), W_DEP,
+                                            nm_to_cm(2000.0))
+        assert f == pytest.approx(1.0, abs=1e-6)
+
+    def test_monotone_in_length(self):
+        values = [short_channel_slope_degradation(nm_to_cm(2.1), W_DEP,
+                                                  nm_to_cm(l))
+                  for l in (15, 30, 60, 120)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_textbook_prefactor_larger(self):
+        calibrated = short_channel_slope_degradation(
+            nm_to_cm(2.1), W_DEP, nm_to_cm(30.0))
+        textbook = short_channel_slope_degradation(
+            nm_to_cm(2.1), W_DEP, nm_to_cm(30.0),
+            prefactor=TAUR_NING_PREFACTOR)
+        assert textbook > calibrated
+        assert TAUR_NING_PREFACTOR > SCE_PREFACTOR_DEFAULT
+
+    def test_rejects_negative_prefactor(self):
+        with pytest.raises(ParameterError):
+            short_channel_slope_degradation(nm_to_cm(2.1), W_DEP,
+                                            nm_to_cm(30.0), prefactor=-1.0)
+
+
+class TestInverseSubthresholdSlope:
+    def test_long_channel_limit_is_eq2a(self):
+        ss = inverse_subthreshold_slope(STACK, W_DEP, l_eff_cm=None)
+        m = slope_factor_from_widths(STACK.eot_cm, W_DEP)
+        assert ss == pytest.approx(LN10 * thermal_voltage() * m)
+
+    def test_90nm_class_value(self):
+        ss = inverse_subthreshold_slope(STACK, W_DEP, nm_to_cm(52.0))
+        assert 0.070 < ss < 0.095
+
+    def test_bounded_below_by_thermal_limit(self):
+        # S_S >= 60 mV/dec at 300 K, always.
+        for w in (1e-6, 2e-6, 5e-6):
+            ss = inverse_subthreshold_slope(STACK, w, nm_to_cm(100.0))
+            assert ss > LN10 * thermal_voltage()
+
+    def test_degrades_as_length_shrinks(self):
+        long = inverse_subthreshold_slope(STACK, W_DEP, nm_to_cm(100.0))
+        short = inverse_subthreshold_slope(STACK, W_DEP, nm_to_cm(18.0))
+        assert short > long
+
+
+class TestSubthresholdCurrent:
+    def test_exponential_in_vgs(self):
+        m, vth = 1.3, 0.4
+        i1 = subthreshold_current(1e-6, 0.10, 0.5, vth, m)
+        i2 = subthreshold_current(1e-6, 0.20, 0.5, vth, m)
+        expected = math.exp(0.10 / (m * thermal_voltage()))
+        assert i2 / i1 == pytest.approx(expected, rel=1e-9)
+
+    def test_drain_saturation_factor(self):
+        # For vds >> vT the (1 - exp(-vds/vT)) factor saturates at 1.
+        i_small = subthreshold_current(1e-6, 0.1, 0.01, 0.4, 1.3)
+        i_big = subthreshold_current(1e-6, 0.1, 0.5, 0.4, 1.3)
+        assert i_small < i_big
+        i_bigger = subthreshold_current(1e-6, 0.1, 1.0, 0.4, 1.3)
+        assert i_bigger == pytest.approx(i_big, rel=1e-6)
+
+    def test_at_threshold_equals_prefactor(self):
+        i = subthreshold_current(1e-6, 0.4, 1.0, 0.4, 1.3)
+        assert i == pytest.approx(1e-6, rel=1e-6)
+
+    def test_rejects_bad_slope_factor(self):
+        with pytest.raises(ParameterError):
+            subthreshold_current(1e-6, 0.1, 0.5, 0.4, 0.9)
+
+
+class TestRatios:
+    def test_on_off_ratio(self):
+        assert on_off_ratio(1e-6, 1e-10) == pytest.approx(1e4)
+
+    def test_on_off_rejects_nonpositive_ioff(self):
+        with pytest.raises(ParameterError):
+            on_off_ratio(1e-6, 0.0)
+
+    def test_decades_of_drive(self):
+        assert decades_of_drive(0.25, 0.080) == pytest.approx(3.125)
+
+    def test_decades_rejects_bad_slope(self):
+        with pytest.raises(ParameterError):
+            decades_of_drive(0.25, 0.0)

@@ -1,0 +1,116 @@
+"""Tests for the threshold-voltage model (roll-up + roll-off)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device.doping import DopingProfile, HaloImplant
+from repro.device.geometry import DeviceGeometry
+from repro.device.threshold import (
+    ThresholdModel,
+    characteristic_length,
+    delta_vth_sce,
+    vth_long_channel,
+)
+from repro.errors import ParameterError
+from repro.materials.oxide import sio2
+
+STACK = sio2(nm_to_cm(2.1))
+
+
+@pytest.fixture()
+def model():
+    geometry = DeviceGeometry.from_nm(65.0)
+    halo = HaloImplant.for_geometry(geometry, 2e18)
+    profile = DopingProfile(n_sub_cm3=1.2e18, halo=halo)
+    return ThresholdModel(geometry=geometry, profile=profile, stack=STACK)
+
+
+class TestLongChannel:
+    def test_typical_value(self):
+        vth = vth_long_channel(2e18, STACK)
+        assert 0.3 < vth < 0.7
+
+    def test_increases_with_doping(self):
+        assert vth_long_channel(4e18, STACK) > vth_long_channel(1e18, STACK)
+
+    def test_increases_with_tox(self):
+        thick = sio2(nm_to_cm(3.0))
+        assert vth_long_channel(2e18, thick) > vth_long_channel(2e18, STACK)
+
+
+class TestCharacteristicLength:
+    def test_positive_and_small(self):
+        lt = characteristic_length(STACK, 2.4e-6)
+        assert 0.0 < lt < 2.4e-6
+
+    def test_grows_with_wdep(self):
+        assert (characteristic_length(STACK, 3e-6)
+                > characteristic_length(STACK, 1e-6))
+
+    def test_rejects_nonpositive_wdep(self):
+        with pytest.raises(ParameterError):
+            characteristic_length(STACK, 0.0)
+
+
+class TestSceShift:
+    def test_positive(self):
+        dv = delta_vth_sce(nm_to_cm(45.0), STACK, 2.2e-6, 2e18, vds=1.2)
+        assert dv > 0.0
+
+    def test_grows_with_vds_dibl(self):
+        lo = delta_vth_sce(nm_to_cm(45.0), STACK, 2.2e-6, 2e18, vds=0.05)
+        hi = delta_vth_sce(nm_to_cm(45.0), STACK, 2.2e-6, 2e18, vds=1.2)
+        assert hi > lo
+
+    def test_decays_with_length(self):
+        lengths = [nm_to_cm(l) for l in (20, 40, 80, 160)]
+        shifts = [delta_vth_sce(l, STACK, 2.2e-6, 2e18, 1.0) for l in lengths]
+        assert all(b < a for a, b in zip(shifts, shifts[1:]))
+
+    def test_negligible_at_long_channel(self):
+        dv = delta_vth_sce(nm_to_cm(2000.0), STACK, 2.2e-6, 2e18, 1.2)
+        assert dv < 1e-6
+
+    def test_rejects_negative_vds(self):
+        with pytest.raises(ParameterError):
+            delta_vth_sce(nm_to_cm(45.0), STACK, 2.2e-6, 2e18, vds=-0.1)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ParameterError):
+            delta_vth_sce(0.0, STACK, 2.2e-6, 2e18, vds=0.1)
+
+
+class TestThresholdModel:
+    def test_vth_below_long_channel_value(self, model):
+        # Roll-off always reduces V_th below its long-channel component.
+        assert model.vth(vds=1.2) < model.vth0()
+
+    def test_dibl_positive(self, model):
+        assert model.dibl_mv_per_v(1.2) > 0.0
+
+    def test_dibl_requires_vdd_above_lin(self, model):
+        with pytest.raises(ParameterError):
+            model.dibl_mv_per_v(0.01)
+
+    def test_halo_rollup(self, model):
+        # With a halo, V_th(L) rises as L shrinks: the pockets occupy a
+        # growing channel fraction and over-compensate the SCE shift.
+        lengths = [nm_to_cm(l) for l in (400, 100, 60, 30)]
+        curve = model.rolloff_curve(lengths, vds=0.05)
+        vths = [v for _l, v in curve]
+        assert all(b > a for a, b in zip(vths, vths[1:]))
+
+    def test_halo_free_rolloff(self, model):
+        # Without a halo, short-channel effects win: V_th(L) collapses
+        # as the channel shortens.
+        bare = ThresholdModel(geometry=model.geometry,
+                              profile=model.profile.without_halo(),
+                              stack=model.stack)
+        lengths = [nm_to_cm(l) for l in (400, 100, 60, 30, 15)]
+        vths = [v for _l, v in bare.rolloff_curve(lengths, vds=0.05)]
+        assert all(b < a for a, b in zip(vths, vths[1:]))
+        assert vths[0] - vths[-1] > 0.05
+
+    def test_n_eff_grows_at_short_channel(self, model):
+        assert model.n_eff(nm_to_cm(20.0)) > model.n_eff(nm_to_cm(200.0))

@@ -1,0 +1,43 @@
+"""Run the docstring examples of the public modules.
+
+Keeps the examples in module/function docstrings executable and
+correct — they are the first code a new user copies.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.plotting
+import repro.analysis.tables
+import repro.constants
+import repro.device.mosfet
+import repro.materials.mobility
+import repro.materials.silicon
+import repro.scaling.compact_card
+import repro.scaling.projection
+import repro.scaling.roadmap
+import repro.units
+import repro.variability.rdf
+
+MODULES = [
+    repro.constants,
+    repro.units,
+    repro.materials.silicon,
+    repro.materials.mobility,
+    repro.device.mosfet,
+    repro.scaling.roadmap,
+    repro.scaling.projection,
+    repro.scaling.compact_card,
+    repro.variability.rdf,
+    repro.analysis.tables,
+    repro.analysis.plotting,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

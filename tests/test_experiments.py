@@ -1,0 +1,61 @@
+"""Integration tests: every registered experiment runs and its paper
+claims hold.
+
+The fast experiments are asserted individually so failures localise;
+the full sweep is covered by the benchmark suite.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import experiment_ids, list_experiments, run_experiment
+
+#: Experiments cheap enough to run inside the unit-test suite.
+FAST_EXPERIMENTS = (
+    "table1", "table2", "table3",
+    "fig2", "fig3", "fig6", "fig7", "fig8", "fig9",
+    "ablation_halo", "ablation_leakage", "ablation_tox",
+)
+
+
+class TestRegistry:
+    def test_all_expected_ids_registered(self):
+        ids = set(experiment_ids())
+        expected = {"table1", "table2", "table3"} | {
+            f"fig{i}" for i in range(2, 13)
+        } | {"ablation_tox", "ablation_halo", "ablation_leakage",
+             "ablation_analytic"}
+        assert expected <= ids
+
+    def test_listing_has_titles(self):
+        for eid, title in list_experiments():
+            assert eid
+            assert title
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+def test_experiment_claims_hold(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.experiment_id == experiment_id
+    failing = [c.claim for c in result.comparisons if not c.holds]
+    assert not failing, f"claims failed: {failing}"
+
+
+def test_table2_has_four_nodes():
+    result = run_experiment("table2")
+    assert len(result.rows) == 4
+
+
+def test_fig9_has_four_series():
+    result = run_experiment("fig9")
+    assert len(result.series) == 4
+
+
+def test_fig2_render_smoke():
+    text = run_experiment("fig2").render()
+    assert "S_S" in text
+    assert "paper vs measured" in text

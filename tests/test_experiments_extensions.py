@@ -1,0 +1,131 @@
+"""Tests for the fig1 artefact and the three extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestFig1:
+    def test_claims_hold(self):
+        result = run_experiment("fig1")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_edge_cut_exceeds_mid_cut(self):
+        result = run_experiment("fig1")
+        edge = result.get_series("doping at channel edge")
+        mid = result.get_series("doping at mid-channel")
+        assert edge.y.max() > mid.y.max()
+
+
+class TestExtMultivth:
+    def test_claims_hold(self):
+        result = run_experiment("ext_multivth")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_vth_series_monotone(self):
+        result = run_experiment("ext_multivth")
+        vth = result.get_series("Vth by flavour")
+        assert np.all(np.diff(vth.y) > 0.0)
+
+
+class TestExtHighk:
+    def test_claims_hold(self):
+        result = run_experiment("ext_highk")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_hfo2_always_leaks_less(self):
+        result = run_experiment("ext_highk")
+        sio2_leak = result.get_series("SiO2 gate leakage")
+        hfo2_leak = result.get_series("HfO2 gate leakage")
+        assert np.all(hfo2_leak.y < sio2_leak.y)
+
+
+class TestEq3:
+    def test_claims_hold(self):
+        result = run_experiment("eq3")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_snm_vs_m_monotone(self):
+        result = run_experiment("eq3")
+        snm = result.get_series("analytic SNM vs slope factor")
+        assert np.all(np.diff(snm.y) < 0.0)
+
+
+class TestExtCorners:
+    def test_claims_hold(self):
+        result = run_experiment("ext_corners")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_vth_window_positive(self):
+        result = run_experiment("ext_corners")
+        sup = result.get_series("Vth by corner (super-vth)")
+        assert sup.y[-1] > sup.y[0]
+
+
+class TestExtPareto:
+    def test_claims_hold(self):
+        result = run_experiment("ext_pareto")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_frontiers_monotone(self):
+        result = run_experiment("ext_pareto")
+        for label in ("frontier super-vth", "frontier sub-vth"):
+            s = result.get_series(label)
+            assert np.all(np.diff(s.x) > 0.0)       # delay ascending
+            assert np.all(np.diff(s.y) < 0.0)       # energy descending
+
+
+class TestExtProjection:
+    def test_claims_hold(self):
+        result = run_experiment("ext_projection")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_series_span_to_16nm(self):
+        result = run_experiment("ext_projection")
+        ss_sub = result.get_series("S_S projection sub-vth")
+        assert ss_sub.x.min() < 20.0     # reaches the 16nm node
+
+
+class TestExtDvs:
+    def test_claims_hold(self):
+        result = run_experiment("ext_dvs")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_gated_curve_flat_below_vmin_rate(self):
+        result = run_experiment("ext_dvs")
+        gated = result.get_series("E(throughput) sub-vth, power-gated")
+        # The first four probes sit at or below the V_min rate.
+        assert np.allclose(gated.y[:4], gated.y[0], rtol=1e-6)
+
+
+class TestHeadlines:
+    def test_all_five_claims_hold(self):
+        result = run_experiment("headlines")
+        assert len(result.comparisons) == 5
+        assert result.all_hold()
+
+
+class TestExtTemperature:
+    def test_claims_hold(self):
+        result = run_experiment("ext_temperature")
+        failing = [c.claim for c in result.comparisons if not c.holds]
+        assert not failing, failing
+
+    def test_leakage_monotone_in_temperature(self):
+        result = run_experiment("ext_temperature")
+        ioff = result.get_series("Ioff vs T @250mV")
+        assert np.all(np.diff(ioff.y) > 0.0)
+
+    def test_ss_monotone_in_temperature(self):
+        result = run_experiment("ext_temperature")
+        ss = result.get_series("S_S vs T")
+        assert np.all(np.diff(ss.y) > 0.0)

@@ -1,0 +1,63 @@
+"""Direct tests for the transient-heavy figure experiments.
+
+fig4/fig5/fig10/fig11/fig12 involve transient simulation or V_min
+sweeps and therefore run slower than the unit suite average; they are
+here (in addition to the benchmark suite) so that `pytest tests/`
+alone certifies every paper artefact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.parametrize("experiment_id",
+                         ["fig1", "fig4", "fig5", "fig10", "fig11", "fig12"])
+def test_figure_claims_hold(experiment_id):
+    result = run_experiment(experiment_id)
+    failing = [c.claim for c in result.comparisons if not c.holds]
+    assert not failing, f"{experiment_id}: {failing}"
+
+
+class TestFig4Shape:
+    def test_snm_loss_exceeds_paper_floor(self):
+        result = run_experiment("fig4")
+        snm = result.get_series("SNM @250mV")
+        assert snm.total_change() < -0.10
+
+
+class TestFig5Shape:
+    def test_delay_trends_opposite_at_two_supplies(self):
+        result = run_experiment("fig5")
+        nominal = result.get_series("delay @nominal Vdd")
+        sub = result.get_series("delay @250mV")
+        assert nominal.total_change() < 0.0 < sub.total_change()
+
+
+class TestFig10Shape:
+    def test_advantage_grows_with_scaling(self):
+        result = run_experiment("fig10")
+        sup = result.get_series("SNM super-vth @250mV")
+        sub = result.get_series("SNM sub-vth @250mV")
+        advantage = sub.y / sup.y - 1.0
+        assert advantage[-1] == max(advantage)
+
+
+class TestFig11Shape:
+    def test_crossover_by_32nm(self):
+        result = run_experiment("fig11")
+        sup = result.get_series("delay super-vth @250mV (normalized)")
+        sub = result.get_series("delay sub-vth @250mV (normalized)")
+        # Normalized each to its own 90nm point; compare trajectories.
+        assert sub.y[-1] < 1.0 < sup.y[-1]
+
+
+class TestFig12Shape:
+    def test_vmin_gap_opens(self):
+        result = run_experiment("fig12")
+        v_sup = result.get_series("Vmin super-vth")
+        v_sub = result.get_series("Vmin sub-vth")
+        gap = v_sup.y - v_sub.y
+        assert np.all(np.diff(gap) > -1.0)     # quasi-monotone opening
+        assert gap[-1] > 25.0                  # mV at 32nm

@@ -1,0 +1,98 @@
+"""Cross-layer integration tests.
+
+These tie the layers together the way the paper does: compact model vs
+numerical TCAD, analytic vs transient circuit metrics, and strategy
+optimisers vs circuit-level outcomes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Inverter, fo1_delay, noise_margins
+from repro.circuit.energy import find_vmin
+from repro.device import nfet, pfet
+from repro.scaling.metrics import energy_factor, vmin_estimate
+from repro.tcad.simulator import DeviceSimulator
+
+
+class TestCompactVsTcad:
+    def test_ss_agreement_across_family(self, super_family):
+        for design in super_family.designs:
+            sim = DeviceSimulator(design.nfet)
+            assert sim.numeric_ss() == pytest.approx(
+                design.nfet.ss_v_per_dec, rel=0.10)
+
+    def test_vth_agreement_90nm(self, super_family):
+        design = super_family.designs[0]
+        sim = DeviceSimulator(design.nfet)
+        vdd = design.node.vdd_nominal
+        assert sim.numeric_vth(vdd) == pytest.approx(
+            design.nfet.vth_sat_cc(vdd), abs=0.06)
+
+
+class TestAnalyticVsSimulated:
+    def test_delay_consistency_subthreshold(self, inverter_sub):
+        result = fo1_delay(inverter_sub, transient=True)
+        assert result.transient_s == pytest.approx(result.analytic_s,
+                                                   rel=0.5)
+
+    def test_vmin_tracks_ss_model(self, super_family):
+        # The refs-[17][18] proportionality V_min ~ K * S_S should hold
+        # across the family with a consistent K.
+        ks = []
+        for design in super_family.designs:
+            mep = find_vmin(design.inverter(0.3))
+            ks.append(mep.vmin / design.nfet.ss_v_per_dec)
+        assert max(ks) / min(ks) < 1.15
+
+    def test_energy_factor_predicts_chain_energy(self, super_family):
+        # Eq. 8: C_L S_S^2 should rank the nodes the same way the full
+        # chain simulation does.
+        from repro.circuit.chain import InverterChain
+        energies = []
+        factors = []
+        for design in super_family.designs:
+            mep = InverterChain(design.inverter(0.3)).minimum_energy_point()
+            energies.append(mep.energy.total_j)
+            c_load = design.inverter(mep.vmin).load_capacitance(1)
+            factors.append(energy_factor(c_load, design.nfet.ss_v_per_dec))
+        assert np.argsort(energies).tolist() == np.argsort(factors).tolist()
+
+
+class TestStrategyOutcomes:
+    def test_snm_ordering_at_32nm(self, super_family, sub_family):
+        snm_sup = noise_margins(
+            super_family.design("32nm").inverter(0.25)).snm
+        snm_sub = noise_margins(
+            sub_family.design("32nm").inverter(0.25)).snm
+        assert snm_sub > snm_sup
+
+    def test_both_strategies_share_90nm_heritage(self, super_family,
+                                                 sub_family):
+        # At 90nm the strategies have barely diverged.
+        s_sup = super_family.design("90nm").nfet.ss_mv_per_dec
+        s_sub = sub_family.design("90nm").nfet.ss_mv_per_dec
+        assert s_sub == pytest.approx(s_sup, abs=3.0)
+
+    def test_sub_vth_stronger_at_use_voltage(self, super_family, sub_family):
+        # The sub-V_th strategy specs leakage at the operating bias, so
+        # its 32nm device has far more 250 mV drive than the super-V_th
+        # one, whose V_th was pushed up by slope degradation.
+        i_sup = super_family.design("32nm").nfet.i_on(0.25)
+        i_sub = sub_family.design("32nm").nfet.i_on(0.25)
+        assert i_sub > 1.5 * i_sup
+
+    def test_sub_vth_leakage_pinned_at_use_voltage(self, sub_family):
+        for design in sub_family.designs:
+            assert design.nfet.i_off_per_um(0.30) == pytest.approx(
+                100e-12, rel=0.01)
+
+
+class TestSymmetricInverterDesign:
+    def test_beta_matched_switching_threshold(self):
+        # A 2x PFET roughly centres the inverter trip point.
+        n = nfet(65, 2.1, 1.2e18, 1.5e18)
+        p = pfet(65, 2.1, 1.2e18, 1.5e18, width_um=2.0)
+        inv = Inverter(n, p, vdd=0.3)
+        vm = inv.switching_threshold()
+        assert 0.25 < vm / inv.vdd < 0.75

@@ -1,0 +1,102 @@
+"""Tests for JSON serialization round-trips."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import run_experiment
+from repro.io import (
+    design_from_dict,
+    design_to_dict,
+    device_from_dict,
+    device_to_dict,
+    family_from_dict,
+    family_to_dict,
+    load_json,
+    result_to_dict,
+    save_json,
+)
+
+
+class TestDeviceRoundTrip:
+    def test_metrics_preserved(self, nfet90):
+        clone = device_from_dict(device_to_dict(nfet90))
+        assert clone.ss_v_per_dec == pytest.approx(nfet90.ss_v_per_dec)
+        assert clone.i_off(1.2) == pytest.approx(nfet90.i_off(1.2))
+        assert clone.vth(0.1) == pytest.approx(nfet90.vth(0.1))
+
+    def test_polarity_preserved(self, pfet90):
+        clone = device_from_dict(device_to_dict(pfet90))
+        assert clone.polarity is pfet90.polarity
+        assert clone.geometry.width_um == pytest.approx(2.0)
+
+    def test_halo_free_device(self):
+        from repro.device import nfet
+        dev = nfet(65, 2.1, 1.5e18)
+        clone = device_from_dict(device_to_dict(dev))
+        assert clone.profile.halo is None
+
+    def test_vth_offset_preserved(self, nfet90):
+        shifted = nfet90.with_vth_offset(0.033)
+        clone = device_from_dict(device_to_dict(shifted))
+        assert clone.vth_offset_v == pytest.approx(0.033)
+
+    def test_kind_checked(self, nfet90):
+        payload = device_to_dict(nfet90)
+        payload["kind"] = "banana"
+        with pytest.raises(ParameterError):
+            device_from_dict(payload)
+
+    def test_schema_checked(self, nfet90):
+        payload = device_to_dict(nfet90)
+        payload["schema"] = 99
+        with pytest.raises(ParameterError):
+            device_from_dict(payload)
+
+
+class TestDesignAndFamilyRoundTrip:
+    def test_design_round_trip(self, super_family):
+        design = super_family.designs[0]
+        clone = design_from_dict(design_to_dict(design))
+        assert clone.node.name == design.node.name
+        assert clone.strategy == design.strategy
+        assert clone.nfet.ss_v_per_dec == pytest.approx(
+            design.nfet.ss_v_per_dec)
+
+    def test_family_round_trip(self, super_family):
+        clone = family_from_dict(family_to_dict(super_family))
+        assert clone.node_names() == super_family.node_names()
+        for a, b in zip(clone.designs, super_family.designs):
+            assert a.nfet.i_off(1.0) == pytest.approx(b.nfet.i_off(1.0))
+
+    def test_summary_identical_after_round_trip(self, sub_family):
+        design = sub_family.designs[-1]
+        clone = design_from_dict(design_to_dict(design))
+        original = design.summary()
+        restored = clone.summary()
+        for key, value in original.items():
+            assert restored[key] == pytest.approx(value, rel=1e-9)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, nfet90):
+        path = tmp_path / "device.json"
+        save_json(device_to_dict(nfet90), path)
+        clone = device_from_dict(load_json(path))
+        assert clone.ss_v_per_dec == pytest.approx(nfet90.ss_v_per_dec)
+
+    def test_result_serialises(self, tmp_path):
+        result = run_experiment("table1")
+        payload = result_to_dict(result)
+        path = tmp_path / "result.json"
+        save_json(payload, path)
+        loaded = load_json(path)
+        assert loaded["experiment_id"] == "table1"
+        assert len(loaded["comparisons"]) == len(result.comparisons)
+
+    def test_result_with_series(self, tmp_path):
+        result = run_experiment("fig2")
+        payload = result_to_dict(result)
+        assert payload["series"][0]["x"]
+        save_json(payload, tmp_path / "fig2.json")
+        loaded = load_json(tmp_path / "fig2.json")
+        assert loaded["series"][0]["label"] == result.series[0].label

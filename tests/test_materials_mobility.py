@@ -1,0 +1,86 @@
+"""Tests for the mobility models."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.materials.mobility import (
+    MobilityModel,
+    effective_mobility,
+    masetti_mobility,
+    saturation_velocity,
+    vertical_field_factor,
+)
+
+
+class TestMasetti:
+    def test_lightly_doped_near_lattice_value(self):
+        assert masetti_mobility(1e14) == pytest.approx(1417.0, rel=0.02)
+
+    def test_heavily_doped_small(self):
+        assert masetti_mobility(1e19, "electron") < 150.0
+
+    def test_monotone_decreasing(self):
+        dopings = [1e15, 1e16, 1e17, 1e18, 1e19, 1e20]
+        values = [masetti_mobility(n) for n in dopings]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_holes_slower_than_electrons(self):
+        for n in (1e16, 1e18):
+            assert masetti_mobility(n, "hole") < masetti_mobility(n, "electron")
+
+    def test_floor_applied(self):
+        assert masetti_mobility(5e20) >= 10.0
+
+    def test_unknown_carrier(self):
+        with pytest.raises(ParameterError):
+            masetti_mobility(1e18, "muon")
+
+    def test_rejects_nonpositive_doping(self):
+        with pytest.raises(ParameterError):
+            masetti_mobility(0.0)
+
+
+class TestVerticalField:
+    def test_zero_field_is_unity(self):
+        assert vertical_field_factor(0.0) == pytest.approx(1.0)
+
+    def test_degrades_with_field(self):
+        assert vertical_field_factor(1e6) < vertical_field_factor(1e5)
+
+    def test_bounded_by_one(self):
+        for field in (1e4, 1e5, 1e6, 5e6):
+            assert 0.0 < vertical_field_factor(field) <= 1.0
+
+    def test_rejects_negative_field(self):
+        with pytest.raises(ParameterError):
+            vertical_field_factor(-1.0)
+
+
+class TestMobilityModel:
+    def test_effective_below_low_field(self):
+        model = MobilityModel("electron")
+        assert model.effective(1e18, 5e5) < model.low_field(1e18)
+
+    def test_temperature_reduces_mobility(self):
+        hot = MobilityModel("electron", temperature_k=400.0)
+        cold = MobilityModel("electron", temperature_k=300.0)
+        assert hot.low_field(1e17) < cold.low_field(1e17)
+
+    def test_vsat_electron_exceeds_hole(self):
+        assert saturation_velocity("electron") > saturation_velocity("hole")
+
+    def test_invalid_carrier_rejected(self):
+        with pytest.raises(ParameterError):
+            MobilityModel("tachyon")
+
+    def test_convenience_wrapper(self):
+        assert effective_mobility(2e18) < effective_mobility(1e16)
+
+
+class TestSaturationVelocity:
+    def test_electron_value(self):
+        assert saturation_velocity("electron") == pytest.approx(1e7)
+
+    def test_unknown_carrier(self):
+        with pytest.raises(ParameterError):
+            saturation_velocity("neutrino")

@@ -1,0 +1,73 @@
+"""Tests for gate-stack models."""
+
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.errors import ParameterError
+from repro.materials.oxide import GateStack, hfo2, sio2
+
+
+class TestGateStack:
+    def test_sio2_eot_equals_physical(self):
+        stack = sio2(nm_to_cm(2.1))
+        assert stack.eot_cm == pytest.approx(stack.thickness_cm)
+
+    def test_capacitance_value(self):
+        stack = sio2(nm_to_cm(2.1))
+        # eps_ox / t_ox = 3.45e-13 / 2.1e-7 ~ 1.64e-6 F/cm^2.
+        assert stack.capacitance_per_area == pytest.approx(1.64e-6, rel=0.01)
+
+    def test_capacitance_inverse_in_thickness(self):
+        thin = sio2(nm_to_cm(1.0))
+        thick = sio2(nm_to_cm(2.0))
+        assert thin.capacitance_per_area == pytest.approx(
+            2.0 * thick.capacitance_per_area)
+
+    def test_scaled(self):
+        stack = sio2(nm_to_cm(2.0)).scaled(0.9)
+        assert stack.thickness_cm == pytest.approx(nm_to_cm(1.8))
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            sio2(nm_to_cm(2.0)).scaled(0.0)
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ParameterError):
+            GateStack(thickness_cm=0.0)
+
+    def test_rejects_sub_unity_permittivity(self):
+        with pytest.raises(ParameterError):
+            GateStack(thickness_cm=1e-7, rel_permittivity=0.5)
+
+
+class TestHighK:
+    def test_hfo2_eot(self):
+        stack = hfo2(nm_to_cm(1.0))
+        assert stack.eot_cm == pytest.approx(nm_to_cm(1.0), rel=1e-6)
+
+    def test_hfo2_physical_thickness_larger(self):
+        stack = hfo2(nm_to_cm(1.0))
+        assert stack.thickness_cm > 4.0 * stack.eot_cm
+
+    def test_same_eot_same_capacitance(self):
+        a = sio2(nm_to_cm(1.5))
+        b = hfo2(nm_to_cm(1.5))
+        assert a.capacitance_per_area == pytest.approx(
+            b.capacitance_per_area, rel=1e-6)
+
+
+class TestGateLeakage:
+    def test_thinner_oxide_leaks_more(self):
+        thin = sio2(nm_to_cm(1.2))
+        thick = sio2(nm_to_cm(2.1))
+        assert (thin.tunneling_leakage_a_cm2()
+                > 100.0 * thick.tunneling_leakage_a_cm2())
+
+    def test_highk_leaks_less_at_same_eot(self):
+        # The physical-thickness advantage of high-k at equal EOT.
+        assert (hfo2(nm_to_cm(1.2)).tunneling_leakage_a_cm2()
+                < sio2(nm_to_cm(1.2)).tunneling_leakage_a_cm2())
+
+    def test_rejects_negative_bias(self):
+        with pytest.raises(ParameterError):
+            sio2(nm_to_cm(2.0)).tunneling_leakage_a_cm2(-1.0)

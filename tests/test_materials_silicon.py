@@ -1,0 +1,93 @@
+"""Tests for bulk-silicon material models."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.materials.silicon import (
+    bandgap_ev,
+    built_in_potential,
+    debye_length,
+    fermi_potential,
+    intrinsic_concentration,
+)
+
+
+class TestBandgap:
+    def test_room_temperature(self):
+        assert bandgap_ev(300.0) == pytest.approx(1.12, abs=0.01)
+
+    def test_zero_kelvin(self):
+        assert bandgap_ev(0.0) == pytest.approx(1.17)
+
+    def test_narrows_with_temperature(self):
+        assert bandgap_ev(400.0) < bandgap_ev(300.0) < bandgap_ev(200.0)
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ParameterError):
+            bandgap_ev(-1.0)
+
+
+class TestIntrinsicConcentration:
+    def test_reference_value_at_300k(self):
+        assert intrinsic_concentration(300.0) == pytest.approx(1e10)
+
+    def test_grows_steeply_with_temperature(self):
+        # Roughly a decade per ~30 K around room temperature.
+        ratio = intrinsic_concentration(330.0) / intrinsic_concentration(300.0)
+        assert 3.0 < ratio < 30.0
+
+    def test_rejects_zero_temperature(self):
+        with pytest.raises(ParameterError):
+            intrinsic_concentration(0.0)
+
+
+class TestFermiPotential:
+    def test_typical_channel_doping(self):
+        assert fermi_potential(1.5e18) == pytest.approx(0.487, abs=0.01)
+
+    def test_increases_with_doping(self):
+        assert fermi_potential(1e18) < fermi_potential(1e19)
+
+    def test_logarithmic_in_doping(self):
+        step1 = fermi_potential(1e18) - fermi_potential(1e17)
+        step2 = fermi_potential(1e19) - fermi_potential(1e18)
+        assert step1 == pytest.approx(step2, rel=1e-6)
+
+    def test_rejects_nonpositive_doping(self):
+        with pytest.raises(ParameterError):
+            fermi_potential(0.0)
+
+    def test_rejects_intrinsic_doping(self):
+        with pytest.raises(ParameterError):
+            fermi_potential(1e9)
+
+
+class TestBuiltInPotential:
+    def test_typical_junction(self):
+        vbi = built_in_potential(1e20, 1.5e18)
+        assert 1.0 < vbi < 1.15
+
+    def test_increases_with_both_sides(self):
+        assert (built_in_potential(1e20, 1e18)
+                < built_in_potential(1e20, 1e19))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            built_in_potential(-1e20, 1e18)
+
+
+class TestDebyeLength:
+    def test_typical_value(self):
+        # ~4 nm at 1e18 cm^-3.
+        assert debye_length(1e18) == pytest.approx(4.1e-7, rel=0.1)
+
+    def test_shrinks_with_doping(self):
+        assert debye_length(1e19) < debye_length(1e17)
+
+    def test_inverse_sqrt_scaling(self):
+        assert debye_length(1e16) / debye_length(1e18) == pytest.approx(
+            10.0, rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            debye_length(0.0)

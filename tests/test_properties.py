@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core models and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import nm_to_cm, thermal_voltage
+from repro.device import nfet
+from repro.device.doping import DopingProfile, HaloImplant
+from repro.device.electrostatics import depletion_width, slope_factor
+from repro.device.subthreshold import (
+    inverse_subthreshold_slope,
+    short_channel_slope_degradation,
+    subthreshold_current,
+)
+from repro.materials.mobility import masetti_mobility
+from repro.materials.oxide import sio2
+from repro.materials.silicon import fermi_potential, intrinsic_concentration
+from repro.scaling.generalized import GeneralizedScaling
+from repro.units import format_quantity, parse_quantity
+
+# Strategy helpers -----------------------------------------------------------
+
+dopings = st.floats(min_value=1e16, max_value=5e19)
+oxide_nm = st.floats(min_value=0.8, max_value=5.0)
+lengths_nm = st.floats(min_value=10.0, max_value=500.0)
+voltages = st.floats(min_value=0.0, max_value=1.5)
+
+
+class TestMaterialProperties:
+    @given(n=dopings)
+    def test_fermi_potential_positive_and_bounded(self, n):
+        phi = fermi_potential(n)
+        assert 0.3 < phi < 0.62   # sub-bandgap for any realistic doping
+
+    @given(n1=dopings, n2=dopings)
+    def test_fermi_potential_monotone(self, n1, n2):
+        if n1 < n2:
+            assert fermi_potential(n1) < fermi_potential(n2)
+
+    @given(n=dopings)
+    def test_mobility_positive(self, n):
+        assert masetti_mobility(n) > 0.0
+
+    @given(t=st.floats(min_value=250.0, max_value=400.0))
+    def test_ni_monotone_in_temperature(self, t):
+        assert intrinsic_concentration(t + 5.0) > intrinsic_concentration(t)
+
+
+class TestElectrostaticsProperties:
+    @given(n=dopings)
+    def test_depletion_width_positive(self, n):
+        assert depletion_width(n) > 0.0
+
+    @given(n1=dopings, n2=dopings)
+    def test_depletion_width_antitone(self, n1, n2):
+        if n1 < n2:
+            assert depletion_width(n1) > depletion_width(n2)
+
+    @given(n=dopings, t_ox=oxide_nm)
+    def test_slope_factor_above_unity(self, n, t_ox):
+        m = slope_factor(n, sio2(nm_to_cm(t_ox)))
+        assert m > 1.0
+
+    @given(n=dopings, t1=oxide_nm, t2=oxide_nm)
+    def test_slope_factor_monotone_in_tox(self, n, t1, t2):
+        if t1 * (1.0 + 1e-9) < t2:
+            assert (slope_factor(n, sio2(nm_to_cm(t1)))
+                    < slope_factor(n, sio2(nm_to_cm(t2))))
+
+
+class TestSubthresholdProperties:
+    @given(t_ox=oxide_nm, w_dep=st.floats(min_value=3.0, max_value=100.0),
+           l_eff=lengths_nm)
+    def test_ss_above_thermal_limit(self, t_ox, w_dep, l_eff):
+        ss = inverse_subthreshold_slope(
+            sio2(nm_to_cm(t_ox)), nm_to_cm(w_dep), nm_to_cm(l_eff))
+        assert ss > math.log(10.0) * thermal_voltage()
+
+    @given(t_ox=oxide_nm, w_dep=st.floats(min_value=3.0, max_value=100.0),
+           l1=lengths_nm, l2=lengths_nm)
+    def test_ss_degradation_antitone_in_length(self, t_ox, w_dep, l1, l2):
+        if l1 < l2:
+            f1 = short_channel_slope_degradation(
+                nm_to_cm(t_ox), nm_to_cm(w_dep), nm_to_cm(l1))
+            f2 = short_channel_slope_degradation(
+                nm_to_cm(t_ox), nm_to_cm(w_dep), nm_to_cm(l2))
+            assert f1 >= f2
+
+    @given(vgs1=voltages, vgs2=voltages, vds=st.floats(min_value=0.01,
+                                                       max_value=1.5))
+    def test_current_monotone_in_vgs(self, vgs1, vgs2, vds):
+        if vgs1 + 1e-9 < vgs2:
+            i1 = subthreshold_current(1e-6, vgs1, vds, 0.4, 1.3)
+            i2 = subthreshold_current(1e-6, vgs2, vds, 0.4, 1.3)
+            assert i1 < i2
+
+
+class TestDopingProfileProperties:
+    @settings(max_examples=30)
+    @given(n_sub=st.floats(min_value=5e17, max_value=5e18),
+           peak=st.floats(min_value=1e17, max_value=2e19),
+           l_eff=lengths_nm)
+    def test_effective_doping_bounds(self, n_sub, peak, l_eff):
+        halo = HaloImplant(peak_cm3=peak, sigma_x_cm=nm_to_cm(10.0),
+                           sigma_y_cm=nm_to_cm(12.0), depth_cm=nm_to_cm(15.0))
+        profile = DopingProfile(n_sub_cm3=n_sub, halo=halo)
+        n_eff = profile.effective_channel_doping(nm_to_cm(l_eff))
+        assert n_sub <= n_eff <= n_sub + 2.0 * peak + 1e12
+
+    @settings(max_examples=20)
+    @given(l1=lengths_nm, l2=lengths_nm)
+    def test_effective_doping_antitone_in_length(self, l1, l2):
+        halo = HaloImplant(peak_cm3=2e18, sigma_x_cm=nm_to_cm(10.0),
+                           sigma_y_cm=nm_to_cm(12.0), depth_cm=nm_to_cm(15.0))
+        profile = DopingProfile(n_sub_cm3=1e18, halo=halo)
+        if l1 < l2:
+            assert (profile.effective_channel_doping(nm_to_cm(l1))
+                    >= profile.effective_channel_doping(nm_to_cm(l2)))
+
+
+class TestDeviceProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(n_sub=st.floats(min_value=8e17, max_value=4e18),
+           vdd=st.floats(min_value=0.2, max_value=1.2))
+    def test_on_exceeds_off(self, n_sub, vdd):
+        dev = nfet(65, 2.1, n_sub, 1.5e18)
+        assert dev.i_on(vdd) > dev.i_off(vdd)
+
+    @settings(max_examples=15, deadline=None)
+    @given(vdd1=st.floats(min_value=0.2, max_value=1.2),
+           vdd2=st.floats(min_value=0.2, max_value=1.2))
+    def test_ion_monotone_in_vdd(self, vdd1, vdd2):
+        dev = nfet(65, 2.1, 1.2e18, 1.5e18)
+        if vdd1 < vdd2:
+            assert dev.i_on(vdd1) < dev.i_on(vdd2)
+
+
+class TestScalingAlgebraProperties:
+    @given(alpha=st.floats(min_value=1.01, max_value=3.0),
+           epsilon=st.floats(min_value=1.0, max_value=2.0))
+    def test_field_consistency(self, alpha, epsilon):
+        rule = GeneralizedScaling(alpha=alpha, epsilon=epsilon)
+        assert rule.field_factor == pytest.approx(epsilon)
+
+    @given(alpha=st.floats(min_value=1.01, max_value=2.0),
+           epsilon=st.floats(min_value=1.0, max_value=1.5),
+           gens=st.integers(min_value=1, max_value=4))
+    def test_composition_associative(self, alpha, epsilon, gens):
+        rule = GeneralizedScaling(alpha=alpha, epsilon=epsilon)
+        assert rule.apply(gens).area_factor == pytest.approx(
+            rule.area_factor ** gens)
+
+
+class TestUnitsProperties:
+    @given(value=st.floats(min_value=1e-14, max_value=1e6),
+           )
+    def test_format_parse_roundtrip(self, value):
+        text = format_quantity(value, "X", digits=9)
+        assert parse_quantity(text, "X") == pytest.approx(value, rel=1e-6)

@@ -1,0 +1,63 @@
+"""Tests for the model-card extraction."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scaling.compact_card import (
+    design_cards,
+    extract_card,
+    family_card_table,
+)
+
+
+class TestExtractCard:
+    def test_fields_consistent_with_device(self, nfet90):
+        card = extract_card(nfet90, 1.2, "n90")
+        assert card.ss_mv_per_dec == pytest.approx(nfet90.ss_mv_per_dec)
+        assert card.ioff_a_per_um == pytest.approx(nfet90.i_off_per_um(1.2))
+        assert card.l_poly_nm == pytest.approx(65.0)
+
+    def test_dibl_consistent(self, nfet90):
+        card = extract_card(nfet90, 1.2)
+        assert card.dibl_mv_per_v == pytest.approx(
+            nfet90.threshold.dibl_mv_per_v(1.2, 0.05))
+
+    def test_vth_ordering(self, nfet90):
+        card = extract_card(nfet90, 1.2)
+        assert card.vth_sat_v < card.vth_lin_v
+
+    def test_per_um_normalisation(self, pfet90):
+        card = extract_card(pfet90, 1.2)
+        assert card.c_gate_f_per_um == pytest.approx(
+            pfet90.capacitance.c_gate / 2.0)
+
+    def test_as_dict_round(self, nfet90):
+        card = extract_card(nfet90, 1.2, "n90")
+        d = card.as_dict()
+        assert d["label"] == "n90"
+        assert d["ss_mv_per_dec"] == card.ss_mv_per_dec
+
+    def test_render_contains_parameters(self, nfet90):
+        text = extract_card(nfet90, 1.2, "n90").render()
+        for token in ("V_th,sat", "S_S", "I_off", "model card: n90"):
+            assert token in text
+
+    def test_rejects_bad_vdd(self, nfet90):
+        with pytest.raises(ParameterError):
+            extract_card(nfet90, 0.0)
+
+
+class TestDesignAndFamilyCards:
+    def test_design_cards_pair(self, super_family):
+        n_card, p_card = design_cards(super_family.designs[0])
+        assert n_card.polarity == "nfet"
+        assert p_card.polarity == "pfet"
+        assert "90nm" in n_card.label
+
+    def test_family_table_has_all_nodes(self, super_family):
+        text = family_card_table(super_family)
+        for node in ("90nm", "65nm", "45nm", "32nm"):
+            assert node in text
+
+    def test_family_table_strategy_label(self, sub_family):
+        assert "sub-vth" in family_card_table(sub_family)

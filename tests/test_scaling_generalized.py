@@ -1,0 +1,74 @@
+"""Tests for the generalized-scaling algebra (Table 1)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scaling.generalized import CONSTANT_FIELD, GeneralizedScaling
+
+
+class TestFactors:
+    def test_constant_field_special_case(self):
+        # Dennard scaling: field factor exactly 1.
+        assert CONSTANT_FIELD.field_factor == pytest.approx(1.0)
+
+    def test_dimension_factor(self):
+        rule = GeneralizedScaling(alpha=1.0 / 0.7)
+        assert rule.dimension_factor == pytest.approx(0.7)
+
+    def test_doping_factor(self):
+        rule = GeneralizedScaling(alpha=2.0, epsilon=1.5)
+        assert rule.doping_factor == pytest.approx(3.0)
+
+    def test_voltage_factor(self):
+        rule = GeneralizedScaling(alpha=2.0, epsilon=1.5)
+        assert rule.voltage_factor == pytest.approx(0.75)
+
+    def test_area_is_dimension_squared(self):
+        rule = GeneralizedScaling(alpha=1.4, epsilon=1.1)
+        assert rule.area_factor == pytest.approx(rule.dimension_factor ** 2)
+
+    def test_power_is_voltage_squared_times_area_over_delay(self):
+        # P = C V^2 f: C ~ 1/alpha, V ~ eps/alpha, f ~ alpha
+        # -> P ~ eps^2/alpha^2.
+        rule = GeneralizedScaling(alpha=1.4, epsilon=1.1)
+        expected = ((1.0 / rule.alpha) * rule.voltage_factor ** 2
+                    / rule.delay_factor)
+        assert rule.power_factor == pytest.approx(expected)
+
+    def test_field_factor_definition(self):
+        rule = GeneralizedScaling(alpha=1.3, epsilon=1.2)
+        assert rule.field_factor == pytest.approx(1.2)
+
+    def test_table_complete(self):
+        table = CONSTANT_FIELD.table()
+        assert set(table) == {
+            "physical_dimensions", "channel_doping", "vdd", "area",
+            "delay", "power",
+        }
+
+
+class TestComposition:
+    def test_two_generations(self):
+        rule = GeneralizedScaling(alpha=1.4, epsilon=1.1)
+        squared = rule.apply(2)
+        assert squared.alpha == pytest.approx(1.4 ** 2)
+        assert squared.epsilon == pytest.approx(1.1 ** 2)
+
+    def test_composition_multiplies_factors(self):
+        rule = GeneralizedScaling(alpha=1.4, epsilon=1.1)
+        assert rule.apply(3).dimension_factor == pytest.approx(
+            rule.dimension_factor ** 3)
+
+    def test_rejects_zero_generations(self):
+        with pytest.raises(ParameterError):
+            CONSTANT_FIELD.apply(0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ParameterError):
+            GeneralizedScaling(alpha=0.0)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ParameterError):
+            GeneralizedScaling(alpha=1.4, epsilon=-1.0)

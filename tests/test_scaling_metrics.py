@@ -1,0 +1,86 @@
+"""Tests for the Eq. 4-8 scaling metrics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scaling.metrics import (
+    delay_at_vmin,
+    delay_factor,
+    energy_factor,
+    geometric_mean_change,
+    intrinsic_delay,
+    per_generation_change,
+    vmin_estimate,
+)
+
+
+class TestFactors:
+    def test_intrinsic_delay(self):
+        assert intrinsic_delay(1e-15, 1.2, 1e-4) == pytest.approx(1.2e-11)
+
+    def test_intrinsic_delay_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            intrinsic_delay(0.0, 1.2, 1e-4)
+
+    def test_delay_factor_fixed_ioff(self):
+        assert delay_factor(2e-15, 0.08) == pytest.approx(1.6e-16)
+
+    def test_delay_factor_with_ioff(self):
+        assert delay_factor(2e-15, 0.08, 1e-10) == pytest.approx(1.6e-6)
+
+    def test_energy_factor(self):
+        assert energy_factor(2e-15, 0.08) == pytest.approx(1.28e-17)
+
+    def test_energy_factor_quadratic_in_ss(self):
+        assert energy_factor(1e-15, 0.16) == pytest.approx(
+            4.0 * energy_factor(1e-15, 0.08))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            energy_factor(-1e-15, 0.08)
+        with pytest.raises(ParameterError):
+            delay_factor(1e-15, 0.08, i_off_a=0.0)
+
+
+class TestVminModel:
+    def test_proportional_to_ss(self):
+        assert vmin_estimate(0.08) == pytest.approx(
+            2.0 * vmin_estimate(0.04))
+
+    def test_plausible_range(self):
+        # S_S ~ 80 mV/dec should give a V_min in the 200-350 mV band.
+        assert 0.15 < vmin_estimate(0.080) < 0.40
+
+    def test_delay_at_vmin_positive(self):
+        assert delay_at_vmin(2e-15, 0.08, 1e-10) > 0.0
+
+    def test_delay_at_vmin_proportional_to_factor(self):
+        # At fixed S_S, Eq. 6: t_p ~ C_L / I_off.
+        t1 = delay_at_vmin(1e-15, 0.08, 1e-10)
+        t2 = delay_at_vmin(2e-15, 0.08, 2e-10)
+        assert t2 == pytest.approx(t1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            vmin_estimate(0.0)
+        with pytest.raises(ParameterError):
+            delay_at_vmin(1e-15, 0.08, 0.0)
+
+
+class TestGenerationChanges:
+    def test_per_generation(self):
+        changes = per_generation_change([1.0, 0.8, 0.6])
+        assert changes[0] == pytest.approx(-0.2)
+        assert changes[1] == pytest.approx(-0.25)
+
+    def test_geometric_mean(self):
+        rate = geometric_mean_change([1.0, 0.7, 0.49])
+        assert rate == pytest.approx(-0.3)
+
+    def test_needs_two_values(self):
+        with pytest.raises(ParameterError):
+            per_generation_change([1.0])
+
+    def test_rejects_zero_normaliser(self):
+        with pytest.raises(ParameterError):
+            per_generation_change([0.0, 1.0])

@@ -1,0 +1,69 @@
+"""Tests for the multi-V_th flavour derivation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scaling.multivth import FLAVOURS, derive_flavours, drive_spread
+from repro.scaling.roadmap import node_by_name
+
+
+@pytest.fixture(scope="module")
+def menu():
+    return derive_flavours(node_by_name("45nm"), 47.0)
+
+
+class TestDeriveFlavours:
+    def test_all_flavours_present(self, menu):
+        assert set(menu) == set(FLAVOURS)
+
+    def test_vth_ordering(self, menu):
+        assert (menu["lvt"].vth_mv() < menu["rvt"].vth_mv()
+                < menu["hvt"].vth_mv())
+
+    def test_leakage_targets_met(self, menu):
+        for name, multiplier in FLAVOURS.items():
+            measured = menu[name].leakage_a_per_um(0.30)
+            assert measured == pytest.approx(100e-12 * multiplier, rel=0.02)
+
+    def test_drive_ordering(self, menu):
+        assert (menu["lvt"].drive_a_per_um(0.25)
+                > menu["rvt"].drive_a_per_um(0.25)
+                > menu["hvt"].drive_a_per_um(0.25))
+
+    def test_same_gate_length(self, menu):
+        lengths = {f.design.nfet.geometry.l_poly_nm for f in menu.values()}
+        assert len(lengths) == 1
+
+    def test_pfet_built_too(self, menu):
+        for flavour in menu.values():
+            assert flavour.design.pfet.geometry.width_um == pytest.approx(2.0)
+
+    def test_custom_flavours(self):
+        node = node_by_name("45nm")
+        menu = derive_flavours(node, 47.0, flavours={"only": 1.0})
+        assert set(menu) == {"only"}
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ParameterError):
+            derive_flavours(node_by_name("45nm"), 47.0,
+                            base_ioff_a_per_um=0.0)
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ParameterError):
+            derive_flavours(node_by_name("45nm"), 47.0,
+                            flavours={"bad": -1.0})
+
+
+class TestDriveSpread:
+    def test_subthreshold_spread_tracks_leakage_window(self, menu):
+        spread = drive_spread(menu, 0.25)
+        leak_window = (menu["lvt"].leakage_a_per_um(0.25)
+                       / menu["hvt"].leakage_a_per_um(0.25))
+        assert 0.3 * leak_window < spread <= 1.2 * leak_window
+
+    def test_spread_compresses_toward_nominal(self, menu):
+        assert drive_spread(menu, 1.0) < drive_spread(menu, 0.25)
+
+    def test_needs_lvt_and_hvt(self, menu):
+        with pytest.raises(ParameterError):
+            drive_spread({"rvt": menu["rvt"]}, 0.25)

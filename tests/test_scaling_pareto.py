@@ -1,0 +1,81 @@
+"""Tests for the energy-delay Pareto exploration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.scaling.pareto import (
+    ParetoPoint,
+    _pareto_filter,
+    dominance_fraction,
+    sweep_design,
+)
+
+
+class TestParetoFilter:
+    def test_removes_dominated(self):
+        points = [
+            ParetoPoint(0.2, 1.0, 5.0),
+            ParetoPoint(0.3, 2.0, 6.0),    # slower AND higher energy
+            ParetoPoint(0.4, 3.0, 2.0),
+        ]
+        frontier = _pareto_filter(points)
+        assert len(frontier) == 2
+        assert frontier[0].delay_s == 1.0
+        assert frontier[1].energy_j == 2.0
+
+    def test_keeps_all_when_efficient(self):
+        points = [ParetoPoint(0.2, 1.0, 5.0), ParetoPoint(0.3, 2.0, 4.0),
+                  ParetoPoint(0.4, 3.0, 3.0)]
+        assert len(_pareto_filter(points)) == 3
+
+    def test_frontier_monotone(self):
+        rng = np.random.default_rng(5)
+        points = [ParetoPoint(0.0, float(d), float(e))
+                  for d, e in rng.uniform(1.0, 10.0, (50, 2))]
+        frontier = _pareto_filter(points)
+        delays = [p.delay_s for p in frontier]
+        energies = [p.energy_j for p in frontier]
+        assert all(b > a for a, b in zip(delays, delays[1:]))
+        assert all(b < a for a, b in zip(energies, energies[1:]))
+
+
+class TestSweepDesign:
+    def test_sweep_produces_curve(self, sub_family):
+        curve = sweep_design(sub_family.design("45nm"), n_points=9)
+        assert len(curve.points) == 9
+        assert 2 <= len(curve.frontier) <= 9
+
+    def test_delay_falls_with_vdd(self, sub_family):
+        curve = sweep_design(sub_family.design("45nm"), n_points=9)
+        delays = [p.delay_s for p in curve.points]
+        assert all(b < a for a, b in zip(delays, delays[1:]))
+
+    def test_energy_at_delay_interpolates(self, sub_family):
+        curve = sweep_design(sub_family.design("45nm"), n_points=9)
+        mid = np.sqrt(curve.frontier[0].delay_s
+                      * curve.frontier[-1].delay_s)
+        value = curve.energy_at_delay(float(mid))
+        energies = [p.energy_j for p in curve.frontier]
+        assert min(energies) <= value <= max(energies)
+
+    def test_energy_at_delay_out_of_range(self, sub_family):
+        curve = sweep_design(sub_family.design("45nm"), n_points=9)
+        with pytest.raises(ParameterError):
+            curve.energy_at_delay(1e6)
+
+    def test_rejects_bad_range(self, sub_family):
+        with pytest.raises(ParameterError):
+            sweep_design(sub_family.design("45nm"), vdd_lo=0.5, vdd_hi=0.2)
+
+
+class TestDominance:
+    def test_sub_vth_dominates_majority_at_32nm(self, super_family,
+                                                sub_family):
+        sup = sweep_design(super_family.design("32nm"), n_points=13)
+        sub = sweep_design(sub_family.design("32nm"), n_points=13)
+        assert dominance_fraction(sub, sup) > 0.5
+
+    def test_self_dominance_is_zero(self, sub_family):
+        curve = sweep_design(sub_family.design("45nm"), n_points=9)
+        assert dominance_fraction(curve, curve) == 0.0

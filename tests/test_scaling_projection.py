@@ -1,0 +1,62 @@
+"""Tests for the beyond-32nm projection."""
+
+import pytest
+
+from repro.scaling.projection import (
+    project_sub_vth,
+    project_super_vth,
+    projected_node,
+)
+
+
+class TestProjectedNodes:
+    def test_22nm_dimensions(self):
+        node = projected_node(1)
+        assert node.name == "22nm"
+        assert node.l_poly_nm == pytest.approx(22.0 * 0.7)
+        assert node.t_ox_nm == pytest.approx(1.53 * 0.9)
+        assert node.vdd_nominal == pytest.approx(0.8)
+
+    def test_16nm_dimensions(self):
+        node = projected_node(2)
+        assert node.name == "16nm"
+        assert node.generation == 5
+
+    def test_vdd_floored(self):
+        far = projected_node(6)
+        assert far.vdd_nominal == pytest.approx(0.5)
+
+    def test_leakage_budget_compounds(self):
+        assert projected_node(2).ioff_target_a_per_um == pytest.approx(
+            195e-12 * 1.25 ** 2, rel=0.01)
+
+    def test_rejects_zero_generations(self):
+        with pytest.raises(ValueError):
+            projected_node(0)
+
+
+class TestProjections:
+    def test_super_vth_slope_keeps_degrading(self):
+        outcomes = project_super_vth()
+        feasible = [o for o in outcomes if o.feasible]
+        assert feasible, "super-vth infeasible already at 22nm?"
+        ss = [o.design.nfet.ss_mv_per_dec for o in feasible]
+        assert ss[-1] > 100.0
+
+    def test_sub_vth_slope_stays_flat(self, sub_family):
+        outcomes = project_sub_vth()
+        assert all(o.feasible for o in outcomes)
+        baseline = sub_family.design("32nm").nfet.ss_mv_per_dec
+        for o in outcomes:
+            assert abs(o.design.nfet.ss_mv_per_dec - baseline) < 3.0
+
+    def test_super_halo_demand_explodes(self):
+        outcomes = project_super_vth()
+        feasible = [o for o in outcomes if o.feasible]
+        halos = [o.design.nfet.profile.n_halo_net_cm3 for o in feasible]
+        assert halos[-1] > 2.5e19
+
+    def test_sub_vth_ioff_still_pinned(self):
+        for o in project_sub_vth():
+            assert o.design.nfet.i_off_per_um(0.30) == pytest.approx(
+                100e-12, rel=0.01)

@@ -1,0 +1,69 @@
+"""Tests for the node roadmap."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scaling.roadmap import (
+    IOFF_SUB_VTH_A_PER_UM,
+    SUPER_VTH_ROADMAP,
+    node_by_name,
+    roadmap_nodes,
+    sub_vth_ioff_target,
+)
+
+
+class TestRoadmapContents:
+    def test_primary_nodes(self):
+        names = [n.name for n in roadmap_nodes()]
+        assert names == ["90nm", "65nm", "45nm", "32nm"]
+
+    def test_130nm_optional(self):
+        names = [n.name for n in roadmap_nodes(include_130nm=True)]
+        assert names[0] == "130nm"
+        assert len(names) == 5
+
+    def test_paper_l_poly_values(self):
+        expected = {"90nm": 65.0, "65nm": 46.0, "45nm": 32.0, "32nm": 22.0}
+        for name, l_poly in expected.items():
+            assert node_by_name(name).l_poly_nm == l_poly
+
+    def test_paper_t_ox_values(self):
+        expected = {"90nm": 2.10, "65nm": 1.89, "45nm": 1.70, "32nm": 1.53}
+        for name, t_ox in expected.items():
+            assert node_by_name(name).t_ox_nm == t_ox
+
+    def test_vdd_steps_100mv(self):
+        nodes = roadmap_nodes()
+        vdds = [n.vdd_nominal for n in nodes]
+        assert vdds == [1.2, 1.1, 1.0, 0.9]
+
+    def test_ioff_grows_25_percent(self):
+        nodes = roadmap_nodes()
+        for a, b in zip(nodes, nodes[1:]):
+            assert (b.ioff_target_a_per_um / a.ioff_target_a_per_um
+                    == pytest.approx(1.25, rel=0.01))
+
+    def test_l_poly_shrinks_about_30_percent(self):
+        nodes = roadmap_nodes()
+        for a, b in zip(nodes, nodes[1:]):
+            assert b.l_poly_nm / a.l_poly_nm == pytest.approx(0.70, abs=0.02)
+
+    def test_t_ox_shrinks_about_10_percent(self):
+        nodes = roadmap_nodes()
+        for a, b in zip(nodes, nodes[1:]):
+            assert b.t_ox_nm / a.t_ox_nm == pytest.approx(0.90, abs=0.01)
+
+    def test_generation_indices(self):
+        assert node_by_name("90nm").generation == 0
+        assert node_by_name("32nm").generation == 3
+        assert node_by_name("130nm").generation == -1
+
+
+class TestLookups:
+    def test_unknown_node(self):
+        with pytest.raises(ParameterError):
+            node_by_name("22nm")
+
+    def test_sub_vth_target_constant(self):
+        for node in SUPER_VTH_ROADMAP:
+            assert sub_vth_ioff_target(node) == IOFF_SUB_VTH_A_PER_UM

@@ -1,0 +1,71 @@
+"""Tests for the calibration-sensitivity framework."""
+
+import pytest
+
+from repro.device import geometry as geometry_mod
+from repro.device import nfet
+from repro.device import subthreshold as subthreshold_mod
+from repro.device import threshold as threshold_mod
+from repro.errors import ParameterError
+from repro.scaling.sensitivity import calibration, headline_under_calibration
+
+
+class TestCalibrationContext:
+    def test_overrides_inside_scope(self):
+        with calibration(sce_prefactor=11.0, lt_calibration=0.6,
+                         overlap_fraction=0.12):
+            assert subthreshold_mod.SCE_PREFACTOR_DEFAULT == 11.0
+            assert threshold_mod.LT_CALIBRATION == 0.6
+            assert geometry_mod.OVERLAP_FRACTION == 0.12
+
+    def test_restores_on_exit(self):
+        before = (geometry_mod.OVERLAP_FRACTION,
+                  threshold_mod.LT_CALIBRATION,
+                  subthreshold_mod.SCE_PREFACTOR_DEFAULT)
+        with calibration(sce_prefactor=11.0):
+            pass
+        after = (geometry_mod.OVERLAP_FRACTION,
+                 threshold_mod.LT_CALIBRATION,
+                 subthreshold_mod.SCE_PREFACTOR_DEFAULT)
+        assert before == after
+
+    def test_restores_on_exception(self):
+        before = subthreshold_mod.SCE_PREFACTOR_DEFAULT
+        with pytest.raises(RuntimeError):
+            with calibration(sce_prefactor=11.0):
+                raise RuntimeError("boom")
+        assert subthreshold_mod.SCE_PREFACTOR_DEFAULT == before
+
+    def test_devices_built_inside_see_override(self):
+        base = nfet(22, 1.53, 2e18, 1e19)
+        with calibration(sce_prefactor=11.0):
+            harsher = nfet(22, 1.53, 2e18, 1e19)
+        assert harsher.ss_v_per_dec > base.ss_v_per_dec
+
+    def test_rejects_bad_overrides(self):
+        with pytest.raises(ParameterError):
+            with calibration(sce_prefactor=-1.0):
+                pass
+        with pytest.raises(ParameterError):
+            with calibration(overlap_fraction=0.6):
+                pass
+
+
+class TestHeadlines:
+    def test_default_matches_cached_families(self, super_family, sub_family):
+        from repro.circuit import noise_margins
+        result = headline_under_calibration()
+        snm_sup = noise_margins(super_family.design("32nm").inverter(0.25)).snm
+        snm_sub = noise_margins(sub_family.design("32nm").inverter(0.25)).snm
+        assert result.snm_advantage == pytest.approx(
+            snm_sub / snm_sup - 1.0, abs=1e-6)
+
+    def test_textbook_prefactor_conclusions_hold(self):
+        result = headline_under_calibration(sce_prefactor=11.0)
+        assert result.snm_advantage > 0.08
+        assert result.energy_advantage > 0.05
+        assert result.ss_degradation > 0.0
+
+    def test_result_records_calibration(self):
+        result = headline_under_calibration(lt_calibration=0.5)
+        assert result.lt_calibration == pytest.approx(0.5)

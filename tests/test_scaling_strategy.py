@@ -1,0 +1,47 @@
+"""Tests for the DeviceDesign / DeviceFamily containers."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scaling.strategy import DeviceFamily
+
+
+class TestDeviceDesign:
+    def test_inverter_uses_design_vdd(self, super_family):
+        design = super_family.designs[0]
+        assert design.inverter().vdd == pytest.approx(design.vdd)
+
+    def test_inverter_override_vdd(self, super_family):
+        design = super_family.designs[0]
+        assert design.inverter(0.25).vdd == pytest.approx(0.25)
+
+    def test_load_capacitance_positive(self, super_family):
+        assert super_family.designs[0].load_capacitance() > 0.0
+
+    def test_summary_consistency(self, super_family):
+        design = super_family.designs[0]
+        s = design.summary()
+        assert s["l_poly_nm"] == pytest.approx(design.nfet.geometry.l_poly_nm)
+        assert s["vdd"] == pytest.approx(design.node.vdd_nominal)
+
+
+class TestDeviceFamily:
+    def test_node_names(self, super_family):
+        assert super_family.node_names() == ("90nm", "65nm", "45nm", "32nm")
+
+    def test_lookup(self, super_family):
+        design = super_family.design("45nm")
+        assert design.node.name == "45nm"
+
+    def test_lookup_missing(self, super_family):
+        with pytest.raises(ParameterError):
+            super_family.design("22nm")
+
+    def test_table_rows(self, super_family):
+        rows = super_family.table_rows()
+        assert len(rows) == 4
+        assert all("ss_mv_per_dec" in row for row in rows)
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ParameterError):
+            DeviceFamily(strategy="x", designs=())

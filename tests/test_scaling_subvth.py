@@ -1,0 +1,96 @@
+"""Tests for the sub-V_th strategy optimiser."""
+
+import pytest
+
+from repro.device.mosfet import Polarity
+from repro.errors import OptimizationError
+from repro.scaling.roadmap import node_by_name
+from repro.scaling.subvth import (
+    SUB_VTH_EVAL_VDD,
+    SubVthOptimizer,
+    optimize_doping_for_length,
+)
+
+
+class TestDopingForLength:
+    def test_meets_ioff_target(self):
+        node = node_by_name("45nm")
+        dev = optimize_doping_for_length(node, 60.0,
+                                         vdd_leak=SUB_VTH_EVAL_VDD)
+        assert dev.i_off_per_um(SUB_VTH_EVAL_VDD) == pytest.approx(
+            100e-12, rel=0.01)
+
+    def test_longer_gate_better_slope(self):
+        node = node_by_name("45nm")
+        short = optimize_doping_for_length(node, 32.0,
+                                           vdd_leak=SUB_VTH_EVAL_VDD)
+        long = optimize_doping_for_length(node, 64.0,
+                                          vdd_leak=SUB_VTH_EVAL_VDD)
+        assert long.ss_v_per_dec < short.ss_v_per_dec
+
+    def test_custom_ioff_target(self):
+        node = node_by_name("45nm")
+        tight = optimize_doping_for_length(node, 60.0, ioff_target=20e-12,
+                                           vdd_leak=SUB_VTH_EVAL_VDD)
+        assert tight.i_off_per_um(SUB_VTH_EVAL_VDD) == pytest.approx(
+            20e-12, rel=0.01)
+
+    def test_tighter_target_higher_vth(self):
+        node = node_by_name("45nm")
+        loose = optimize_doping_for_length(node, 60.0, ioff_target=200e-12,
+                                           vdd_leak=SUB_VTH_EVAL_VDD)
+        tight = optimize_doping_for_length(node, 60.0, ioff_target=20e-12,
+                                           vdd_leak=SUB_VTH_EVAL_VDD)
+        assert tight.vth(0.1) > loose.vth(0.1)
+
+    def test_impossible_target_raises(self):
+        node = node_by_name("45nm")
+        with pytest.raises(OptimizationError):
+            optimize_doping_for_length(node, 32.0, ioff_target=1e-22)
+
+
+class TestOptimizer:
+    def test_gate_longer_than_roadmap_at_scaled_nodes(self, sub_family,
+                                                      super_family):
+        for ds, dp in zip(sub_family.designs[1:], super_family.designs[1:]):
+            assert ds.nfet.geometry.l_poly_nm > dp.nfet.geometry.l_poly_nm
+
+    def test_ss_flat_near_80(self, sub_family):
+        ss = [d.nfet.ss_mv_per_dec for d in sub_family.designs]
+        assert max(ss) - min(ss) < 5.0
+        assert 72.0 < sum(ss) / len(ss) < 88.0
+
+    def test_ioff_pinned_at_eval_bias(self, sub_family):
+        for design in sub_family.designs:
+            measured = design.nfet.i_off_per_um(SUB_VTH_EVAL_VDD)
+            assert measured == pytest.approx(100e-12, rel=0.01)
+
+    def test_energy_factor_falls_with_scaling(self, sub_family):
+        factors = [d.load_capacitance() * d.nfet.ss_v_per_dec ** 2
+                   for d in sub_family.designs]
+        assert all(b < a for a, b in zip(factors, factors[1:]))
+
+    def test_design_for_length_symmetric_pair(self):
+        node = node_by_name("45nm")
+        design = SubVthOptimizer(node).design_for_length(60.0)
+        assert design.nfet.geometry.l_poly_nm == pytest.approx(60.0)
+        assert design.pfet.geometry.l_poly_nm == pytest.approx(60.0)
+        assert design.vdd == pytest.approx(SUB_VTH_EVAL_VDD)
+
+    def test_energy_factor_definition(self):
+        node = node_by_name("45nm")
+        optimizer = SubVthOptimizer(node)
+        design = optimizer.design_for_length(60.0)
+        expected = design.load_capacitance() * design.nfet.ss_v_per_dec ** 2
+        assert optimizer.energy_factor(design) == pytest.approx(expected)
+
+    def test_flatness_selection_prefers_longer(self):
+        # Among near-equal energy factors the optimiser must choose the
+        # longest gate (the flattest S_S).
+        rows = [
+            (30.0, "d30", 1.000),
+            (34.0, "d34", 0.990),
+            (38.0, "d38", 1.005),   # within 2% of the 0.990 floor
+            (42.0, "d42", 1.060),   # outside
+        ]
+        assert SubVthOptimizer._select(rows) == 38.0

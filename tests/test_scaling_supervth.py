@@ -1,0 +1,83 @@
+"""Tests for the super-V_th (Fig. 1c) optimiser."""
+
+import pytest
+
+from repro.device.mosfet import Polarity
+from repro.scaling.roadmap import NodeSpec, node_by_name
+from repro.scaling.supervth import (
+    SuperVthOptimizer,
+    build_super_vth_design,
+)
+from repro.errors import OptimizationError
+
+
+class TestDopingSolves:
+    def test_budget_binds_exactly(self, super_family):
+        for design in super_family.designs:
+            measured = design.nfet.i_off_per_um(design.node.vdd_nominal)
+            assert measured == pytest.approx(
+                design.node.ioff_target_a_per_um, rel=0.01)
+
+    def test_pfet_budget_binds_too(self, super_family):
+        for design in super_family.designs:
+            measured = design.pfet.i_off_per_um(design.node.vdd_nominal)
+            assert measured == pytest.approx(
+                design.node.ioff_target_a_per_um, rel=0.01)
+
+    def test_halo_exceeds_substrate(self, super_family):
+        # The short-channel solve always needs halo on top of N_sub.
+        for design in super_family.designs:
+            assert (design.nfet.profile.n_p_halo_cm3
+                    > 0.3 * design.nfet.profile.n_sub_cm3)
+
+    def test_doping_grows_with_scaling(self, super_family):
+        nsub = [d.nfet.profile.n_sub_cm3 for d in super_family.designs]
+        nhalo = [d.nfet.profile.n_halo_net_cm3 for d in super_family.designs]
+        assert all(b > a for a, b in zip(nsub, nsub[1:]))
+        assert all(b > a for a, b in zip(nhalo, nhalo[1:]))
+
+    def test_substrate_solve_long_channel(self):
+        node = node_by_name("90nm")
+        optimizer = SuperVthOptimizer(node, Polarity.NFET)
+        n_sub = optimizer.solve_substrate()
+        assert 1e17 < n_sub < 1e19
+
+
+class TestFamilyTrends:
+    def test_ss_degrades_monotonically(self, super_family):
+        ss = [d.nfet.ss_mv_per_dec for d in super_family.designs]
+        assert all(b > a for a, b in zip(ss, ss[1:]))
+
+    def test_ss_90nm_near_80(self, super_family):
+        assert super_family.designs[0].nfet.ss_mv_per_dec == pytest.approx(
+            80.0, abs=6.0)
+
+    def test_vth_sat_rises(self, super_family):
+        vth = [d.nfet.vth_sat_cc(d.node.vdd_nominal)
+               for d in super_family.designs]
+        assert all(b > a for a, b in zip(vth, vth[1:]))
+        assert 0.30 < vth[0] < 0.45
+
+    def test_design_summary_keys(self, super_family):
+        s = super_family.designs[0].summary()
+        for key in ("l_poly_nm", "t_ox_nm", "n_sub_cm3", "n_halo_cm3",
+                    "vdd", "vth_sat_mv", "ioff_pa_per_um", "ss_mv_per_dec",
+                    "tau_ps"):
+            assert key in s
+
+    def test_strategy_label(self, super_family):
+        assert super_family.strategy == "super-vth"
+        assert all(d.strategy == "super-vth" for d in super_family.designs)
+
+
+class TestFailureModes:
+    def test_unreachable_budget_raises(self):
+        # A 1 zA/um budget cannot be met with bounded doping.
+        impossible = NodeSpec("test", 32.0, 22.0, 1.53, 0.9, 1e-21, 3)
+        with pytest.raises(OptimizationError):
+            SuperVthOptimizer(impossible, Polarity.NFET).optimize()
+
+    def test_single_design_build(self):
+        design = build_super_vth_design(node_by_name("65nm"))
+        assert design.node.name == "65nm"
+        assert design.vdd == pytest.approx(1.1)

@@ -1,0 +1,78 @@
+"""Tests for sheet-charge integration."""
+
+import numpy as np
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device.electrostatics import flatband_voltage
+from repro.materials.oxide import sio2
+from repro.tcad.charge import depletion_depth_cm, sheet_charges, surface_field_v_cm
+from repro.tcad.grid import Mesh1D
+from repro.tcad.poisson1d import solve_mos_poisson
+
+N_SUB = 1.5e18
+STACK = sio2(nm_to_cm(2.1))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mesh = Mesh1D.geometric(8e-6, n_nodes=181)
+    doping = np.full(mesh.n_nodes, N_SUB)
+    vfb = flatband_voltage(N_SUB)
+    return mesh, doping, vfb
+
+
+class TestSheetCharges:
+    def test_inversion_charge_grows_with_vg(self, setup):
+        mesh, doping, vfb = setup
+        charges = []
+        for vg in (vfb + 0.8, vfb + 1.4, vfb + 2.0):
+            sol = solve_mos_poisson(mesh, doping, STACK, vg=vg, vfb=vfb)
+            charges.append(sheet_charges(sol).inversion)
+        assert charges[0] < charges[1] < charges[2]
+
+    def test_inversion_exponential_below_threshold(self, setup):
+        mesh, doping, vfb = setup
+        # Two bias points in weak inversion: charge ratio ~ exp(dpsi/vT).
+        sols = [solve_mos_poisson(mesh, doping, STACK, vg=vfb + v, vfb=vfb)
+                for v in (0.6, 0.7)]
+        q = [sheet_charges(s).inversion for s in sols]
+        assert q[1] / q[0] > 5.0
+
+    def test_depletion_charge_saturates(self, setup):
+        mesh, doping, vfb = setup
+        q1 = sheet_charges(solve_mos_poisson(mesh, doping, STACK,
+                                             vg=vfb + 1.8, vfb=vfb)).depletion
+        q2 = sheet_charges(solve_mos_poisson(mesh, doping, STACK,
+                                             vg=vfb + 2.4, vfb=vfb)).depletion
+        assert q2 == pytest.approx(q1, rel=0.10)
+
+    def test_total_is_sum(self, setup):
+        mesh, doping, vfb = setup
+        sc = sheet_charges(solve_mos_poisson(mesh, doping, STACK,
+                                             vg=vfb + 1.5, vfb=vfb))
+        assert sc.total == pytest.approx(sc.inversion + sc.depletion)
+
+    def test_gauss_law_consistency(self, setup):
+        # Total semiconductor charge must equal eps_si * surface field.
+        mesh, doping, vfb = setup
+        sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb + 1.5, vfb=vfb)
+        sc = sheet_charges(sol)
+        field = surface_field_v_cm(sol)
+        assert sc.total == pytest.approx(1.0359e-12 * field, rel=0.10)
+
+
+class TestDepletionDepth:
+    def test_grows_with_bias_then_saturates(self, setup):
+        mesh, doping, vfb = setup
+        depths = []
+        for vg in (vfb + 0.5, vfb + 1.0, vfb + 2.0, vfb + 2.5):
+            sol = solve_mos_poisson(mesh, doping, STACK, vg=vg, vfb=vfb)
+            depths.append(depletion_depth_cm(sol))
+        assert depths[0] < depths[1]
+        assert depths[3] == pytest.approx(depths[2], rel=0.15)
+
+    def test_zero_at_flat_band(self, setup):
+        mesh, doping, vfb = setup
+        sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb, vfb=vfb)
+        assert depletion_depth_cm(sol) < 5.0 * mesh.nodes_cm[1]

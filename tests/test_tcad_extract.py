@@ -1,0 +1,96 @@
+"""Tests for I-V parameter extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.tcad.extract import (
+    IdVgCurve,
+    extract_dibl,
+    extract_ss,
+    extract_vth_constant_current,
+    on_off_from_curve,
+)
+
+
+def synthetic_curve(vth=0.4, ss=0.08, i0=1e-6, vds=1.0, vmin=-0.2, vmax=1.0,
+                    n=121):
+    """An ideal exponential-then-linear transfer curve."""
+    vgs = np.linspace(vmin, vmax, n)
+    sub = i0 * 10.0 ** ((vgs - vth) / ss)
+    strong = i0 * (1.0 + 8.0 * (vgs - vth) / ss * 0.1)
+    ids = np.where(vgs < vth, sub, np.maximum(strong, i0))
+    return IdVgCurve(vgs=vgs, ids=ids, vds=vds)
+
+
+class TestIdVgCurve:
+    def test_interpolation_loglinear(self):
+        curve = synthetic_curve()
+        mid = curve.current_at(0.2)
+        assert mid == pytest.approx(1e-6 * 10 ** ((0.2 - 0.4) / 0.08),
+                                    rel=0.01)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            synthetic_curve().current_at(5.0)
+
+    def test_rejects_decreasing_vgs(self):
+        with pytest.raises(ParameterError):
+            IdVgCurve(vgs=np.array([0.0, -0.1, 0.2, 0.3]),
+                      ids=np.ones(4), vds=1.0)
+
+    def test_rejects_nonpositive_current(self):
+        with pytest.raises(ParameterError):
+            IdVgCurve(vgs=np.linspace(0, 1, 5),
+                      ids=np.array([1e-9, 1e-8, 0.0, 1e-6, 1e-5]), vds=1.0)
+
+    def test_i_off(self):
+        curve = synthetic_curve()
+        assert curve.i_off == pytest.approx(curve.ids[0])
+
+
+class TestVthExtraction:
+    def test_recovers_known_vth(self):
+        curve = synthetic_curve(vth=0.35)
+        vth = extract_vth_constant_current(curve, 1e-6)
+        assert vth == pytest.approx(0.35, abs=0.01)
+
+    def test_criterion_outside_range(self):
+        with pytest.raises(ParameterError):
+            extract_vth_constant_current(synthetic_curve(), 1e3)
+
+    def test_rejects_nonpositive_criterion(self):
+        with pytest.raises(ParameterError):
+            extract_vth_constant_current(synthetic_curve(), 0.0)
+
+
+class TestSsExtraction:
+    def test_recovers_known_slope(self):
+        curve = synthetic_curve(ss=0.075)
+        assert extract_ss(curve) == pytest.approx(0.075, rel=0.02)
+
+    def test_window_validation(self):
+        with pytest.raises(ParameterError):
+            extract_ss(synthetic_curve(), decade_low=1.0, decade_high=2.0)
+
+
+class TestDibl:
+    def test_positive_dibl(self):
+        lin = synthetic_curve(vth=0.45, vds=0.05)
+        sat = synthetic_curve(vth=0.38, vds=1.05)
+        dibl = extract_dibl(lin, sat, 1e-7)
+        assert dibl == pytest.approx(70.0, rel=0.1)
+
+    def test_order_enforced(self):
+        lin = synthetic_curve(vds=0.05)
+        sat = synthetic_curve(vds=1.0)
+        with pytest.raises(ParameterError):
+            extract_dibl(sat, lin, 1e-7)
+
+
+class TestOnOff:
+    def test_on_off_from_curve(self):
+        curve = synthetic_curve()
+        i_on, i_off = on_off_from_curve(curve, 1.0)
+        assert i_on > i_off
+        assert i_off == pytest.approx(curve.current_at(0.0), rel=0.01)

@@ -1,0 +1,70 @@
+"""Tests for the 1-D mesh."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.tcad.grid import Mesh1D
+
+
+class TestGeometricMesh:
+    def test_spans_exactly(self):
+        mesh = Mesh1D.geometric(1e-5, n_nodes=101)
+        assert mesh.nodes_cm[0] == 0.0
+        assert mesh.nodes_cm[-1] == pytest.approx(1e-5)
+
+    def test_node_count(self):
+        mesh = Mesh1D.geometric(1e-5, n_nodes=151)
+        assert mesh.n_nodes == 151
+
+    def test_strictly_increasing(self):
+        mesh = Mesh1D.geometric(2e-5, n_nodes=201)
+        assert np.all(np.diff(mesh.nodes_cm) > 0.0)
+
+    def test_first_step_respected(self):
+        mesh = Mesh1D.geometric(1e-5, n_nodes=101, first_step_cm=1e-8)
+        assert mesh.spacings_cm[0] == pytest.approx(1e-8, rel=1e-3)
+
+    def test_grading_monotone(self):
+        mesh = Mesh1D.geometric(1e-5, n_nodes=101)
+        h = mesh.spacings_cm
+        assert np.all(np.diff(h) >= -1e-20)
+
+    def test_rejects_first_step_beyond_depth(self):
+        with pytest.raises(ParameterError):
+            Mesh1D.geometric(1e-8, first_step_cm=1e-7)
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ParameterError):
+            Mesh1D.geometric(1e-5, n_nodes=2)
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ParameterError):
+            Mesh1D.geometric(0.0)
+
+
+class TestControlVolumes:
+    def test_sum_equals_depth(self):
+        mesh = Mesh1D.geometric(1e-5, n_nodes=101)
+        assert mesh.control_volumes_cm().sum() == pytest.approx(1e-5)
+
+    def test_boundary_half_cells(self):
+        mesh = Mesh1D.geometric(1e-5, n_nodes=101)
+        volumes = mesh.control_volumes_cm()
+        h = mesh.spacings_cm
+        assert volumes[0] == pytest.approx(0.5 * h[0])
+        assert volumes[-1] == pytest.approx(0.5 * h[-1])
+
+
+class TestValidation:
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ParameterError):
+            Mesh1D(np.array([1e-8, 2e-8, 3e-8]))
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ParameterError):
+            Mesh1D(np.array([0.0, 2e-8, 1e-8]))
+
+    def test_rejects_2d_array(self):
+        with pytest.raises(ParameterError):
+            Mesh1D(np.zeros((3, 3)))

@@ -1,0 +1,59 @@
+"""Tests for the simulator's output (I_d-V_ds) characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.device import nfet
+from repro.errors import ParameterError
+from repro.tcad.simulator import DeviceSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return DeviceSimulator(nfet(65, 2.1, 1.2e18, 1.5e18))
+
+
+class TestIdVd:
+    def test_monotone_in_vds(self, sim):
+        vds = np.linspace(0.0, 1.2, 13)
+        currents = sim.id_vd(0.8, vds)
+        assert np.all(np.diff(currents) > -1e-30)
+
+    def test_saturates(self, sim):
+        vds = np.array([0.6, 0.9, 1.2])
+        currents = sim.id_vd(0.8, vds)
+        # Past saturation the growth (DIBL only) is modest.
+        assert currents[2] / currents[1] < 1.5
+
+    def test_linear_region_slope(self, sim):
+        # Small vds: I ~ conductance * vds.
+        vds = np.array([0.01, 0.02])
+        currents = sim.id_vd(0.8, vds)
+        assert currents[1] == pytest.approx(2.0 * currents[0], rel=0.15)
+
+    def test_higher_vgs_more_current(self, sim):
+        vds = np.array([0.6])
+        low = sim.id_vd(0.6, vds)[0]
+        high = sim.id_vd(1.0, vds)[0]
+        assert high > 2.0 * low
+
+    def test_subthreshold_drain_saturation_in_few_vt(self, sim):
+        # In weak inversion I_d saturates within a few thermal voltages.
+        dev_vth = sim.device.threshold.vth0()
+        vgs = dev_vth - 0.15
+        vds = np.array([0.025, 0.1, 0.3])
+        currents = sim.id_vd(vgs, vds)
+        assert currents[1] / currents[0] > 1.5      # still rising at 1 vT
+        assert currents[2] / currents[1] < 1.6      # nearly flat by 4 vT
+
+    def test_rejects_negative_vds(self, sim):
+        with pytest.raises(ParameterError):
+            sim.id_vd(0.8, np.array([-0.1, 0.5]))
+
+    def test_consistent_with_id_vg(self, sim):
+        # The same bias point through both sweep directions must agree.
+        vgs, vds = 0.7, 0.8
+        from_vd = sim.id_vd(vgs, np.array([vds]))[0]
+        curve = sim.id_vg(vds, np.linspace(vgs - 0.1, vgs + 0.1, 5))
+        from_vg = curve.current_at(vgs)
+        assert from_vd == pytest.approx(from_vg, rel=0.02)

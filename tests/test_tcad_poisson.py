@@ -1,0 +1,114 @@
+"""Tests for the nonlinear 1-D Poisson solver."""
+
+import numpy as np
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device.electrostatics import depletion_width, flatband_voltage
+from repro.errors import ParameterError
+from repro.materials.oxide import sio2
+from repro.materials.silicon import fermi_potential
+from repro.tcad.grid import Mesh1D
+from repro.tcad.poisson1d import solve_mos_poisson
+
+N_SUB = 1.5e18
+STACK = sio2(nm_to_cm(2.1))
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh1D.geometric(8e-6, n_nodes=181)
+
+
+@pytest.fixture(scope="module")
+def doping(mesh):
+    return np.full(mesh.n_nodes, N_SUB)
+
+
+@pytest.fixture(scope="module")
+def vfb():
+    return flatband_voltage(N_SUB)
+
+
+class TestFlatBandAndAccumulation:
+    def test_flat_band_gives_zero_bending(self, mesh, doping, vfb):
+        sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb, vfb=vfb)
+        assert abs(sol.surface_potential_v) < 2e-3
+
+    def test_accumulation_negative_bending(self, mesh, doping, vfb):
+        sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb - 0.5, vfb=vfb)
+        assert sol.surface_potential_v < 0.0
+
+
+class TestDepletionInversion:
+    def test_surface_potential_monotone_in_vg(self, mesh, doping, vfb):
+        psis = []
+        warm = None
+        for vg in np.linspace(vfb, vfb + 2.0, 9):
+            sol = solve_mos_poisson(mesh, doping, STACK, vg=float(vg),
+                                    vfb=vfb, initial_psi=warm)
+            psis.append(sol.surface_potential_v)
+            warm = sol.psi_v
+        assert all(b > a for a, b in zip(psis, psis[1:]))
+
+    def test_surface_potential_pins_near_2phif(self, mesh, doping, vfb):
+        # Strong inversion pins psi_s a few vT above 2 phi_F.
+        phi_f = fermi_potential(N_SUB)
+        sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb + 2.5, vfb=vfb)
+        assert 2.0 * phi_f < sol.surface_potential_v < 2.0 * phi_f + 0.2
+
+    def test_depletion_approximation_matches(self, mesh, doping, vfb):
+        # In mid-depletion the numeric band bending profile should
+        # resemble the parabolic depletion approximation.
+        phi_f = fermi_potential(N_SUB)
+        target = 1.2 * phi_f
+        # Find the vg giving psi_s ~ target by bisection on the solver.
+        lo, hi = vfb, vfb + 2.0
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            sol = solve_mos_poisson(mesh, doping, STACK, vg=mid, vfb=vfb)
+            if sol.surface_potential_v < target:
+                lo = mid
+            else:
+                hi = mid
+        w_expected = depletion_width(N_SUB, surface_potential_v=target)
+        psi = sol.psi_v
+        # Numeric width: depth where bending falls to 5% of surface.
+        idx = int(np.argmax(psi < 0.05 * sol.surface_potential_v))
+        w_numeric = mesh.nodes_cm[idx]
+        assert w_numeric == pytest.approx(w_expected, rel=0.35)
+
+    def test_charge_neutral_deep_bulk(self, mesh, doping, vfb):
+        sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb + 1.5, vfb=vfb)
+        assert abs(sol.psi_v[-1]) < 1e-9
+
+
+class TestChannelPotential:
+    def test_quasi_fermi_shift_reduces_electrons(self, mesh, doping, vfb):
+        vg = vfb + 2.0
+        source = solve_mos_poisson(mesh, doping, STACK, vg=vg, vfb=vfb)
+        drain = solve_mos_poisson(mesh, doping, STACK, vg=vg, vfb=vfb,
+                                  channel_potential_v=0.3)
+        assert drain.electron_cm3[0] < source.electron_cm3[0]
+
+    def test_shift_recorded(self, mesh, doping, vfb):
+        sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb + 1.0, vfb=vfb,
+                                channel_potential_v=0.25)
+        assert sol.channel_potential_v == 0.25
+
+
+class TestValidation:
+    def test_rejects_mismatched_doping(self, mesh, vfb):
+        with pytest.raises(ParameterError):
+            solve_mos_poisson(mesh, np.full(10, N_SUB), STACK, 0.5, vfb)
+
+    def test_rejects_nonpositive_doping(self, mesh, vfb):
+        bad = np.full(mesh.n_nodes, N_SUB)
+        bad[3] = -1.0
+        with pytest.raises(ParameterError):
+            solve_mos_poisson(mesh, bad, STACK, 0.5, vfb)
+
+    def test_rejects_mismatched_warm_start(self, mesh, doping, vfb):
+        with pytest.raises(ParameterError):
+            solve_mos_poisson(mesh, doping, STACK, 0.5, vfb,
+                              initial_psi=np.zeros(5))

@@ -1,0 +1,79 @@
+"""Tests for engineering-notation parsing and formatting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.units import format_quantity, parse_quantity, per_cm, per_micron
+
+
+class TestParseQuantity:
+    def test_picoamp(self):
+        assert parse_quantity("100pA", "A") == pytest.approx(1e-10)
+
+    def test_millivolt(self):
+        assert parse_quantity("250mV", "V") == pytest.approx(0.25)
+
+    def test_nanometre(self):
+        assert parse_quantity("2.1nm", "nm") == pytest.approx(2.1)
+
+    def test_plain_number(self):
+        assert parse_quantity("1.2V", "V") == pytest.approx(1.2)
+
+    def test_exponent_notation(self):
+        assert parse_quantity("1.5e18cm-3", "cm-3") == pytest.approx(1.5e18)
+
+    def test_micro_prefix_u(self):
+        assert parse_quantity("3uA", "A") == pytest.approx(3e-6)
+
+    def test_micro_prefix_mu(self):
+        assert parse_quantity("3µA", "A") == pytest.approx(3e-6)
+
+    def test_mega_prefix(self):
+        assert parse_quantity("2MHz", "Hz") == pytest.approx(2e6)
+
+    def test_negative_value(self):
+        assert parse_quantity("-56mV", "V") == pytest.approx(-0.056)
+
+    def test_wrong_unit_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_quantity("100pA", "V")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParameterError):
+            parse_quantity("not a number", "V")
+
+
+class TestFormatQuantity:
+    def test_picoamp(self):
+        assert format_quantity(1e-10, "A") == "100pA"
+
+    def test_millivolt(self):
+        assert format_quantity(0.25, "V") == "250mV"
+
+    def test_zero(self):
+        assert format_quantity(0.0, "V") == "0V"
+
+    def test_unity(self):
+        assert format_quantity(1.0, "V") == "1V"
+
+    def test_large(self):
+        assert format_quantity(2.5e6, "Hz") == "2.5MHz"
+
+    def test_roundtrip(self):
+        for value in (1e-10, 2.2e-15, 0.25, 1.2, 3.3e3):
+            text = format_quantity(value, "X", digits=6)
+            assert parse_quantity(text, "X") == pytest.approx(value, rel=1e-4)
+
+    def test_negative(self):
+        assert format_quantity(-0.056, "V") == "-56mV"
+
+
+class TestWidthNormalisation:
+    def test_per_micron(self):
+        assert per_micron(1e-5) == pytest.approx(1e-9)
+
+    def test_per_cm(self):
+        assert per_cm(1e-9) == pytest.approx(1e-5)
+
+    def test_roundtrip(self):
+        assert per_cm(per_micron(0.123)) == pytest.approx(0.123)

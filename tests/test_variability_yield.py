@@ -1,0 +1,71 @@
+"""Tests for the timing-margin / yield model."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.variability.yield_model import (
+    gate_log_delay_sigma,
+    margin_vs_supply,
+    path_log_delay_sigma,
+    timing_margin,
+)
+
+
+class TestLogSigmas:
+    def test_gate_sigma_positive(self, inverter_sub):
+        assert gate_log_delay_sigma(inverter_sub) > 0.0
+
+    def test_path_sigma_averages_down(self, inverter_sub):
+        s1 = path_log_delay_sigma(inverter_sub, 1)
+        s100 = path_log_delay_sigma(inverter_sub, 100)
+        assert s100 == pytest.approx(s1 / 10.0)
+
+    def test_rejects_empty_path(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            path_log_delay_sigma(inverter_sub, 0)
+
+
+class TestTimingMargin:
+    def test_margin_above_one(self, inverter_sub):
+        report = timing_margin(inverter_sub)
+        assert report.margin_multiplier > 1.0
+
+    def test_more_paths_more_margin(self, inverter_sub):
+        few = timing_margin(inverter_sub, n_paths=10)
+        many = timing_margin(inverter_sub, n_paths=100000)
+        assert many.margin_multiplier > few.margin_multiplier
+
+    def test_tighter_yield_more_margin(self, inverter_sub):
+        loose = timing_margin(inverter_sub, yield_target=0.9)
+        tight = timing_margin(inverter_sub, yield_target=0.9999)
+        assert tight.margin_multiplier > loose.margin_multiplier
+
+    def test_longer_paths_less_margin(self, inverter_sub):
+        short = timing_margin(inverter_sub, n_gates=5)
+        long = timing_margin(inverter_sub, n_gates=100)
+        assert long.margin_multiplier < short.margin_multiplier
+
+    def test_substantial_margin_in_subthreshold(self, inverter_sub):
+        # The paper's "large timing margins": tens of percent.
+        report = timing_margin(inverter_sub, n_gates=30, n_paths=1000)
+        assert report.margin_multiplier > 1.05
+
+    def test_rejects_bad_yield(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            timing_margin(inverter_sub, yield_target=1.5)
+
+    def test_rejects_bad_paths(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            timing_margin(inverter_sub, n_paths=0)
+
+
+class TestStrategyComparison:
+    def test_sub_vth_needs_less_margin_at_32nm(self, super_family,
+                                               sub_family):
+        sup = timing_margin(super_family.design("32nm").inverter(0.25))
+        sub = timing_margin(sub_family.design("32nm").inverter(0.25))
+        assert sub.margin_multiplier < sup.margin_multiplier
+
+    def test_margin_supply_insensitive_first_order(self, inverter_sub):
+        values = margin_vs_supply(inverter_sub, [0.2, 0.25, 0.3])
+        assert max(values) / min(values) < 1.01

@@ -1,0 +1,55 @@
+"""Regenerate the golden regression baseline.
+
+Collects the key physical metrics of both device families and writes
+``tests/golden_baseline.json``.  Run deliberately — after an
+*intentional* model change — and review the diff; the regression test
+``tests/test_regression_golden.py`` pins the library to these values
+within tolerance so accidental physics drift is caught immediately.
+
+    python tools/generate_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.circuit import InverterChain, noise_margins
+from repro.scaling import build_sub_vth_family, build_super_vth_family
+
+
+def family_metrics(family) -> dict:
+    out: dict[str, dict[str, float]] = {}
+    for design in family.designs:
+        dev = design.nfet
+        chain = InverterChain(design.inverter(0.3))
+        mep = chain.minimum_energy_point()
+        out[design.node.name] = {
+            "l_poly_nm": dev.geometry.l_poly_nm,
+            "ss_mv_per_dec": dev.ss_mv_per_dec,
+            "n_sub_cm3": dev.profile.n_sub_cm3,
+            "n_halo_cm3": dev.profile.n_halo_net_cm3,
+            "vth_sat_mv": 1000.0 * dev.vth_sat_cc(design.node.vdd_nominal),
+            "ioff_pa_per_um": 1e12 * dev.i_off_per_um(
+                design.node.vdd_nominal),
+            "snm_250mv_mv": 1000.0 * noise_margins(
+                design.inverter(0.25)).snm,
+            "vmin_mv": 1000.0 * mep.vmin,
+            "energy_aj": 1e18 * mep.energy.total_j,
+        }
+    return out
+
+
+def main() -> None:
+    payload = {
+        "super-vth": family_metrics(build_super_vth_family()),
+        "sub-vth": family_metrics(build_sub_vth_family()),
+    }
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "tests" / "golden_baseline.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
