@@ -47,6 +47,14 @@ def test_bench_poisson_solve(benchmark):
     assert solution.iterations < 100
 
 
+def test_bench_poisson_batch_sweep(benchmark):
+    """The batched kernel on a full accumulation->inversion bias grid."""
+    sim = DeviceSimulator(_build_device())
+    vgs = np.linspace(-0.3, 1.2, 41)
+    batch = benchmark(sim.solve_batch, vgs)
+    assert int(batch.iterations.max()) < 100
+
+
 def test_bench_numeric_id_vg(benchmark):
     sim = DeviceSimulator(_build_device())
     vgs = np.linspace(-0.1, 1.2, 27)

@@ -5,6 +5,8 @@ Usage::
     repro list                 # show all experiments
     repro run fig4             # run one experiment, print its report
     repro run all              # run everything (slow but complete)
+    repro run all --jobs 4     # ... fanned out over 4 worker processes
+    repro run table2 --profile # ... printing solver/cache perf counters
     python -m repro run table2 # module form
 """
 
@@ -14,7 +16,44 @@ import argparse
 import sys
 import time
 
+from . import perf
 from .experiments import list_experiments, run_experiment
+
+
+def _run_one(experiment_id: str):
+    """Run one experiment, timing it."""
+    start = time.perf_counter()
+    result = run_experiment(experiment_id)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _run_one_worker(experiment_id: str):
+    """Worker body for the parallel runner.
+
+    Module-level so it pickles into :class:`ProcessPoolExecutor`
+    workers; experiments are pure functions of the registry id.  The
+    counters are reset first because a forked worker inherits the
+    parent's totals, which would double-count once merged back.
+    """
+    perf.reset()
+    result, elapsed = _run_one(experiment_id)
+    return result, elapsed, perf.snapshot()
+
+
+def _print_result(result, elapsed: float, plot: bool) -> bool:
+    print(result.render())
+    if plot and result.series:
+        from .analysis.plotting import render_ascii_chart
+        # Chart series that share a y-label together.
+        by_axis: dict[str, list] = {}
+        for s in result.series:
+            by_axis.setdefault(s.y_label, []).append(s)
+        for y_label, group in by_axis.items():
+            print(f"\n[{y_label}]")
+            print(render_ascii_chart(group))
+    print(f"-- completed in {elapsed:.1f}s --\n")
+    return result.all_hold()
 
 
 def _cmd_list() -> int:
@@ -23,27 +62,43 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(target: str, plot: bool = False) -> int:
-    ids = ([eid for eid, _t in list_experiments()] if target == "all"
-           else [target])
+def _cmd_run(targets: list[str], plot: bool = False, jobs: int = 1,
+             profile: bool = False) -> int:
+    known = [eid for eid, _t in list_experiments()]
+    if "all" in targets:
+        ids = known
+    else:
+        unknown = [t for t in targets if t not in known]
+        if unknown:
+            print(f"error: unknown experiment "
+                  f"{', '.join(repr(t) for t in unknown)}; "
+                  f"known ids: {', '.join(known)} (or 'all')",
+                  file=sys.stderr)
+            return 2
+        ids = list(dict.fromkeys(targets))
+    if jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
     failures = 0
-    for experiment_id in ids:
-        start = time.perf_counter()
-        result = run_experiment(experiment_id)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        if plot and result.series:
-            from .analysis.plotting import render_ascii_chart
-            # Chart series that share a y-label together.
-            by_axis: dict[str, list] = {}
-            for s in result.series:
-                by_axis.setdefault(s.y_label, []).append(s)
-            for y_label, group in by_axis.items():
-                print(f"\n[{y_label}]")
-                print(render_ascii_chart(group))
-        print(f"-- completed in {elapsed:.1f}s --\n")
-        if not result.all_hold():
-            failures += 1
+    if jobs == 1 or len(ids) == 1:
+        for experiment_id in ids:
+            result, elapsed = _run_one(experiment_id)
+            if not _print_result(result, elapsed, plot):
+                failures += 1
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(jobs, len(ids))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() preserves submission order, so the report stream is
+            # deterministic regardless of completion order.
+            for result, elapsed, counts in pool.map(_run_one_worker, ids):
+                perf.merge(counts)
+                if not _print_result(result, elapsed, plot):
+                    failures += 1
+
+    if profile:
+        print(perf.report())
     if failures:
         print(f"{failures} experiment(s) had claims that did not hold")
     return 1 if failures else 0
@@ -82,10 +137,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
-    run_parser.add_argument("experiment", help="experiment id or 'all'")
+    run_parser = sub.add_parser("run", help="run experiments (or 'all')")
+    run_parser.add_argument("experiment", nargs="+",
+                            help="experiment id(s) or 'all'")
     run_parser.add_argument("--plot", action="store_true",
                             help="render ASCII charts of the series")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="run experiments across N worker "
+                                 "processes (default 1)")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="print solver/cache perf counters "
+                                 "after the run")
     cards_parser = sub.add_parser(
         "cards", help="print a strategy family's model cards")
     cards_parser.add_argument("strategy", help="super-vth or sub-vth")
@@ -100,7 +162,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cards(args.strategy)
     if args.command == "save-family":
         return _cmd_save_family(args.strategy, args.path)
-    return _cmd_run(args.experiment, plot=args.plot)
+    return _cmd_run(args.experiment, plot=args.plot, jobs=args.jobs,
+                    profile=args.profile)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 from scipy.optimize import brentq
 
+from ..cache import device_cache_enabled, device_memo
 from ..constants import T_ROOM, nm_to_cm, CM_PER_UM
 from ..errors import ParameterError
 from ..materials.mobility import MobilityModel
@@ -56,6 +57,11 @@ class MOSFET:
     _iv: IVModel = field(init=False, repr=False, default=None)
     _cap: CapacitanceModel = field(init=False, repr=False, default=None)
     _threshold: ThresholdModel = field(init=False, repr=False, default=None)
+    #: Per-instance memo for scalar metrics (i_off/i_on/vth_sat_cc).
+    #: Devices are immutable and shared through the construction memo,
+    #: so the optimiser root-solves re-request the same metric at the
+    #: same bias thousands of times.
+    _metrics: dict = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         carrier = "electron" if self.polarity is Polarity.NFET else "hole"
@@ -75,6 +81,7 @@ class MOSFET:
         object.__setattr__(self, "_threshold", ThresholdModel(
             self.geometry, self.profile, self.stack, self.temperature_k,
             gate="n+poly"))
+        object.__setattr__(self, "_metrics", {})
 
     # -- sub-models ----------------------------------------------------------
 
@@ -126,6 +133,9 @@ class MOSFET:
         voltage at which ``I_ds = 100 nA x W/L_eff`` with
         ``V_ds = V_dd``.
         """
+        key = ("vth_sat_cc", vdd)
+        if key in self._metrics:
+            return self._metrics[key]
         target = VTH_CC_A * self.geometry.aspect_ratio
 
         def residual(vgs: float) -> float:
@@ -137,7 +147,9 @@ class MOSFET:
                 "constant-current criterion not bracketed; device far "
                 "outside calibrated regime"
             )
-        return float(brentq(residual, lo, hi, xtol=1e-6))
+        value = float(brentq(residual, lo, hi, xtol=1e-6))
+        self._metrics[key] = value
+        return value
 
     def ids(self, vgs, vds):
         """Drain current [A] for source-referenced voltage magnitudes.
@@ -149,11 +161,17 @@ class MOSFET:
 
     def i_off(self, vdd: float) -> float:
         """Leakage at V_gs = 0, V_ds = V_dd [A]."""
-        return self._iv.i_off(vdd)
+        key = ("i_off", vdd)
+        if key not in self._metrics:
+            self._metrics[key] = self._iv.i_off(vdd)
+        return self._metrics[key]
 
     def i_on(self, vdd: float) -> float:
         """On current at V_gs = V_ds = V_dd [A]."""
-        return self._iv.i_on(vdd)
+        key = ("i_on", vdd)
+        if key not in self._metrics:
+            self._metrics[key] = self._iv.i_on(vdd)
+        return self._metrics[key]
 
     def i_off_per_um(self, vdd: float) -> float:
         """Leakage normalised per µm of width [A/µm]."""
@@ -205,6 +223,23 @@ class MOSFET:
 def _build(polarity: Polarity, l_poly_nm: float, t_ox_nm: float,
            n_sub_cm3: float, n_p_halo_cm3: float, width_um: float,
            reference_nm: float | None, temperature_k: float) -> MOSFET:
+    # Construction is memoised: MOSFETs are immutable, and the scaling
+    # root-solves rebuild the same parameter points over and over.  The
+    # calibration constants are module globals that the sensitivity
+    # context manager overrides in place, so they belong to the key.
+    from . import geometry as geometry_mod
+    from . import subthreshold as subthreshold_mod
+    from . import threshold as threshold_mod
+
+    memoise = device_cache_enabled()
+    key = (polarity.value, l_poly_nm, t_ox_nm, n_sub_cm3, n_p_halo_cm3,
+           width_um, reference_nm, temperature_k,
+           geometry_mod.OVERLAP_FRACTION, threshold_mod.LT_CALIBRATION,
+           subthreshold_mod.SCE_PREFACTOR_DEFAULT)
+    if memoise:
+        cached = device_memo.get(key)
+        if cached is not None:
+            return cached
     geometry = DeviceGeometry.from_nm(l_poly_nm, width_um=width_um,
                                       reference_nm=reference_nm)
     halo = None
@@ -212,8 +247,11 @@ def _build(polarity: Polarity, l_poly_nm: float, t_ox_nm: float,
         halo = HaloImplant.for_geometry(geometry, n_p_halo_cm3)
     profile = DopingProfile(n_sub_cm3=n_sub_cm3, halo=halo)
     stack = sio2(nm_to_cm(t_ox_nm))
-    return MOSFET(polarity=polarity, geometry=geometry, profile=profile,
-                  stack=stack, temperature_k=temperature_k)
+    device = MOSFET(polarity=polarity, geometry=geometry, profile=profile,
+                    stack=stack, temperature_k=temperature_k)
+    if memoise:
+        device_memo.put(key, device)
+    return device
 
 
 def nfet(l_poly_nm: float, t_ox_nm: float, n_sub_cm3: float,

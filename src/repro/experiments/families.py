@@ -2,28 +2,49 @@
 
 Building the sub-V_th family runs hundreds of doping optimisations;
 experiments share one cached instance per configuration so running the
-whole suite stays fast.
+whole suite stays fast.  Two layers:
+
+* an in-process ``lru_cache`` (always on), and
+* the opt-in on-disk JSON cache from :mod:`repro.cache`, which lets a
+  fresh process (``repro run table2``, a parallel worker) skip the
+  optimiser entirely when a previous run already solved this model
+  version.  Enable with ``REPRO_CACHE=1`` or ``REPRO_CACHE_DIR=...``.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Callable
 
+from ..cache import load_family, store_family
 from ..scaling.strategy import DeviceFamily
 from ..scaling.subvth import build_sub_vth_family
 from ..scaling.supervth import build_super_vth_family
 
 
+def _cached_family(tag: str, build: Callable[[bool], DeviceFamily],
+                   include_130nm: bool) -> DeviceFamily:
+    if include_130nm:
+        tag = f"{tag}-130"
+    family = load_family(tag)
+    if family is None:
+        family = build(include_130nm)
+        store_family(tag, family)
+    return family
+
+
 @lru_cache(maxsize=4)
 def super_vth_family(include_130nm: bool = False) -> DeviceFamily:
     """The (cached) Table 2 family."""
-    return build_super_vth_family(include_130nm)
+    return _cached_family("family-super-vth", build_super_vth_family,
+                          include_130nm)
 
 
 @lru_cache(maxsize=4)
 def sub_vth_family(include_130nm: bool = False) -> DeviceFamily:
     """The (cached) Table 3 family."""
-    return build_sub_vth_family(include_130nm)
+    return _cached_family("family-sub-vth", build_sub_vth_family,
+                          include_130nm)
 
 
 #: Sub-threshold evaluation supply used by the figure experiments [V].

@@ -1,0 +1,66 @@
+"""Lightweight performance instrumentation.
+
+A process-global counter table tracks how much numerical work the
+library actually performs: Newton iterations, Poisson solves, optimiser
+residual evaluations, and cache hits/misses.  The hot paths call
+:func:`bump`, which is a dict increment — cheap enough to leave enabled
+unconditionally — and the CLI's ``--profile`` flag (plus the benchmark
+tooling) renders a snapshot at the end of a run.
+
+Counter names in use
+--------------------
+``poisson.solves``
+    Single-bias Poisson problems solved (batch members count once each).
+``poisson.batch_solves``
+    Calls to :func:`repro.tcad.poisson1d.solve_mos_poisson_batch`.
+``poisson.newton_iterations``
+    Total damped-Newton iterations across all solves.
+``optimizer.brentq_residual_evals``
+    Leakage-residual evaluations inside the scaling root-solves.
+``cache.device.hits`` / ``cache.device.misses``
+    In-process device-construction memo.
+``cache.family.hits`` / ``cache.family.misses``
+    On-disk optimised-family cache.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+_COUNTERS: Counter[str] = Counter()
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n``."""
+    _COUNTERS[name] += n
+
+
+def get(name: str) -> int:
+    """Current value of counter ``name`` (0 if never bumped)."""
+    return _COUNTERS[name]
+
+
+def snapshot() -> dict[str, int]:
+    """A plain-dict copy of all counters (picklable, for workers)."""
+    return dict(_COUNTERS)
+
+
+def merge(counts: dict[str, int]) -> None:
+    """Fold a worker-process snapshot into this process's counters."""
+    _COUNTERS.update(counts)
+
+
+def reset() -> None:
+    """Zero every counter."""
+    _COUNTERS.clear()
+
+
+def report() -> str:
+    """Human-readable counter table, sorted by name."""
+    if not _COUNTERS:
+        return "perf counters: (none recorded)"
+    width = max(len(name) for name in _COUNTERS)
+    lines = ["perf counters:"]
+    for name in sorted(_COUNTERS):
+        lines.append(f"  {name:<{width}}  {_COUNTERS[name]:>12,}")
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import brentq
 
+from .. import perf
 from ..circuit.inverter import Inverter
 from ..device.mosfet import MOSFET, Polarity, nfet as build_nfet, pfet as build_pfet
 from ..errors import OptimizationError
@@ -76,6 +77,7 @@ def _solve_substrate_for_ioff(node: NodeSpec, l_poly_nm: float,
         )
 
     def residual(log_n: float) -> float:
+        perf.bump("optimizer.brentq_residual_evals")
         dev = device(10.0 ** log_n)
         return math.log(dev.i_off_per_um(vdd_leak) / ioff_target)
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from scipy.optimize import brentq
 
+from .. import perf
 from ..device.mosfet import MOSFET, Polarity, nfet as build_nfet, pfet as build_pfet
 from ..errors import OptimizationError
 from .roadmap import NodeSpec, roadmap_nodes
@@ -91,6 +92,7 @@ class SuperVthOptimizer:
         long_l = LONG_CHANNEL_MULTIPLE * self.node.l_poly_nm
 
         def residual(log_n: float) -> float:
+            perf.bump("optimizer.brentq_residual_evals")
             dev = self._device(10.0 ** log_n, 0.0, l_poly_nm=long_l)
             return math.log(self._ioff_per_um(dev) / target)
 
@@ -113,6 +115,7 @@ class SuperVthOptimizer:
         target = self.node.ioff_target_a_per_um
 
         def residual(log_n: float) -> float:
+            perf.bump("optimizer.brentq_residual_evals")
             dev = self._device(n_sub, 10.0 ** log_n)
             return math.log(self._ioff_per_um(dev) / target)
 

@@ -19,8 +19,13 @@ throughout the reproduction:
 """
 
 from .grid import Mesh1D
-from .poisson1d import PoissonSolution, solve_mos_poisson
-from .charge import sheet_charges
+from .poisson1d import (
+    BatchPoissonSolution,
+    PoissonSolution,
+    solve_mos_poisson,
+    solve_mos_poisson_batch,
+)
+from .charge import sheet_charges, sheet_charges_batch
 from .quasi2d import sce_vth_shift
 from .extract import (
     extract_vth_constant_current,
@@ -32,9 +37,12 @@ from .simulator import DeviceSimulator
 
 __all__ = [
     "Mesh1D",
+    "BatchPoissonSolution",
     "PoissonSolution",
     "solve_mos_poisson",
+    "solve_mos_poisson_batch",
     "sheet_charges",
+    "sheet_charges_batch",
     "sce_vth_shift",
     "extract_vth_constant_current",
     "extract_ss",

@@ -21,6 +21,7 @@ extraction treats exactly like a MEDICI output deck.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -28,11 +29,19 @@ from ..constants import thermal_voltage
 from ..device.mosfet import MOSFET
 from ..device.electrostatics import flatband_voltage
 from ..errors import ParameterError
-from .charge import sheet_charges
+from .charge import sheet_charges, sheet_charges_batch
 from .extract import IdVgCurve, extract_ss, extract_vth_constant_current
 from .grid import Mesh1D
-from .poisson1d import PoissonSolution, solve_mos_poisson
+from .poisson1d import (
+    BatchPoissonSolution,
+    PoissonSolution,
+    solve_mos_poisson,
+    solve_mos_poisson_batch,
+)
 from .quasi2d import sce_vth_shift, slope_degradation_factor
+
+#: Valid values of :attr:`DeviceSimulator.solver`.
+SOLVER_MODES = ("batch", "sequential")
 
 
 @dataclass
@@ -47,11 +56,19 @@ class DeviceSimulator:
         Vertical mesh nodes; 161 keeps charges accurate to <1 %.
     depth_factor:
         Mesh depth as a multiple of the zero-order depletion width.
+    solver:
+        ``"batch"`` (default) runs every gate bias of a sweep through
+        the vectorised batch kernel; ``"sequential"`` keeps the
+        original warm-started bias-by-bias loop, which serves as the
+        correctness oracle for the batch path.  Both converge to the
+        same fixed points, so extracted metrics agree to solver
+        tolerance.
     """
 
     device: MOSFET
     n_nodes: int = 161
     depth_factor: float = 6.0
+    solver: str = "batch"
 
     _mesh: Mesh1D = field(init=False, repr=False, default=None)
     _doping: np.ndarray = field(init=False, repr=False, default=None)
@@ -60,6 +77,10 @@ class DeviceSimulator:
     def __post_init__(self) -> None:
         if self.n_nodes < 21:
             raise ParameterError("need at least 21 mesh nodes")
+        if self.solver not in SOLVER_MODES:
+            raise ParameterError(
+                f"solver must be one of {SOLVER_MODES}, got {self.solver!r}"
+            )
         dev = self.device
         w_dep = dev.iv.w_dep_cm
         halo_reach = 0.0
@@ -86,31 +107,55 @@ class DeviceSimulator:
             channel_potential_v=channel_potential_v,
         )
 
-    def surface_potential_sweep(self, vgs_grid: np.ndarray,
-                                channel_potential_v: float = 0.0
-                                ) -> np.ndarray:
-        """Surface potential psi_s at each gate voltage (warm-started)."""
+    def solve_batch(self, vgs_grid: np.ndarray,
+                    channel_potential_v: float | np.ndarray = 0.0
+                    ) -> BatchPoissonSolution:
+        """Solve the vertical Poisson problem at every bias in one batch."""
+        return solve_mos_poisson_batch(
+            self._mesh, self._doping, self.device.stack,
+            np.asarray(vgs_grid, dtype=float), self._vfb,
+            temperature_k=self.device.temperature_k,
+            channel_potential_v=channel_potential_v,
+        )
+
+    def _sweep_sequential(self, vgs_grid: np.ndarray,
+                          channel_potential_v: float,
+                          extract: Callable[[PoissonSolution], float]
+                          ) -> np.ndarray:
+        """Warm-started bias-by-bias sweep, one scalar per solution.
+
+        The shared fallback (and correctness oracle) behind the sweep
+        methods when ``solver="sequential"``.
+        """
         vgs = np.asarray(vgs_grid, dtype=float)
-        psi_s = np.empty_like(vgs)
+        values = np.empty_like(vgs)
         warm = None
         for i, vg in enumerate(vgs):
             sol = self.solve(float(vg), channel_potential_v, initial_psi=warm)
-            psi_s[i] = sol.surface_potential_v
+            values[i] = extract(sol)
             warm = sol.psi_v
-        return psi_s
+        return values
+
+    def surface_potential_sweep(self, vgs_grid: np.ndarray,
+                                channel_potential_v: float = 0.0
+                                ) -> np.ndarray:
+        """Surface potential psi_s at each gate voltage."""
+        if self.solver == "batch":
+            batch = self.solve_batch(vgs_grid, channel_potential_v)
+            return batch.surface_potential_v
+        return self._sweep_sequential(vgs_grid, channel_potential_v,
+                                      lambda sol: sol.surface_potential_v)
 
     def inversion_charge_sweep(self, vgs_grid: np.ndarray,
                                channel_potential_v: float = 0.0
                                ) -> np.ndarray:
         """Inversion sheet charge [C/cm^2] at each gate voltage."""
-        vgs = np.asarray(vgs_grid, dtype=float)
-        q_inv = np.empty_like(vgs)
-        warm = None
-        for i, vg in enumerate(vgs):
-            sol = self.solve(float(vg), channel_potential_v, initial_psi=warm)
-            q_inv[i] = sheet_charges(sol).inversion
-            warm = sol.psi_v
-        return q_inv
+        if self.solver == "batch":
+            batch = self.solve_batch(vgs_grid, channel_potential_v)
+            return sheet_charges_batch(batch).inversion
+        return self._sweep_sequential(
+            vgs_grid, channel_potential_v,
+            lambda sol: sheet_charges(sol).inversion)
 
     # -- assembled curves -------------------------------------------------------
 
@@ -169,22 +214,29 @@ class DeviceSimulator:
         pivot = dev.threshold.vth0()
         factor = slope_degradation_factor(dev.geometry.l_eff_cm, dev.stack,
                                           iv.w_dep_cm)
-        currents = np.empty_like(vds_arr)
-        warm = None
-        for i, vds in enumerate(vds_arr):
-            shift = sce_vth_shift(dev.geometry.l_eff_cm, dev.stack,
-                                  iv.w_dep_cm, iv.n_eff_cm3, float(vds),
-                                  dev.temperature_k)
-            vg_eff = pivot + (vgs + shift - pivot) / factor
-            sol_s = self.solve(float(vg_eff), 0.0, initial_psi=warm)
-            warm = sol_s.psi_v
-            q_s = sheet_charges(sol_s).inversion
-            sol_d = self.solve(float(vg_eff), float(vds))
-            q_d = sheet_charges(sol_d).inversion
-            diffusion = vt * (q_s - q_d)
-            drift = (q_s ** 2 - q_d ** 2) / (2.0 * m * cox)
-            currents[i] = max(aspect * mu * (diffusion + drift), 1e-30)
-        return currents
+        shifts = np.array([
+            sce_vth_shift(dev.geometry.l_eff_cm, dev.stack, iv.w_dep_cm,
+                          iv.n_eff_cm3, float(vds), dev.temperature_k)
+            for vds in vds_arr
+        ])
+        vg_eff = pivot + (vgs + shifts - pivot) / factor
+        if self.solver == "batch":
+            q_s = sheet_charges_batch(self.solve_batch(vg_eff, 0.0)).inversion
+            q_d = sheet_charges_batch(
+                self.solve_batch(vg_eff, vds_arr)).inversion
+        else:
+            q_s = np.empty_like(vds_arr)
+            q_d = np.empty_like(vds_arr)
+            warm = None
+            for i, vds in enumerate(vds_arr):
+                sol_s = self.solve(float(vg_eff[i]), 0.0, initial_psi=warm)
+                warm = sol_s.psi_v
+                q_s[i] = sheet_charges(sol_s).inversion
+                sol_d = self.solve(float(vg_eff[i]), float(vds))
+                q_d[i] = sheet_charges(sol_d).inversion
+        diffusion = vt * (q_s - q_d)
+        drift = (q_s ** 2 - q_d ** 2) / (2.0 * m * cox)
+        return np.maximum(aspect * mu * (diffusion + drift), 1e-30)
 
     # -- extracted metrics --------------------------------------------------------
 

@@ -23,10 +23,36 @@ class TestCli:
         out = capsys.readouterr().out
         assert "S_S" in out
 
-    def test_run_unknown_raises(self):
-        from repro.errors import ExperimentError
-        with pytest.raises(ExperimentError):
-            main(["run", "fig99"])
+    def test_run_unknown_exits_2_with_clean_error(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment 'fig99'" in captured.err
+        assert "table2" in captured.err          # known ids are listed
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_run_rejects_bad_jobs(self, capsys):
+        assert main(["run", "table1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_run_multiple_ids(self, capsys):
+        assert main(["run", "table1", "eq3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("-- completed in") == 2
+
+    def test_run_parallel_jobs(self, capsys):
+        # Two experiments over two worker processes; output order and
+        # pass/fail must match the sequential run.
+        assert main(["run", "table1", "eq3", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("Generalized scaling") < out.index("Eq. 3")
+        assert "[OK ]" in out
+
+    def test_run_profile_prints_counters(self, capsys):
+        assert main(["run", "fig2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "perf counters:" in out
+        assert "cache.device" in out
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

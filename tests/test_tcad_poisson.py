@@ -5,7 +5,7 @@ import pytest
 
 from repro.constants import nm_to_cm
 from repro.device.electrostatics import depletion_width, flatband_voltage
-from repro.errors import ParameterError
+from repro.errors import ConvergenceError, ParameterError
 from repro.materials.oxide import sio2
 from repro.materials.silicon import fermi_potential
 from repro.tcad.grid import Mesh1D
@@ -112,3 +112,11 @@ class TestValidation:
         with pytest.raises(ParameterError):
             solve_mos_poisson(mesh, doping, STACK, 0.5, vfb,
                               initial_psi=np.zeros(5))
+
+    def test_convergence_error_carries_diagnostics(self, mesh, doping, vfb):
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_mos_poisson(mesh, doping, STACK, vfb + 2.0, vfb,
+                              max_iter=2)
+        err = excinfo.value
+        assert err.iterations == 2
+        assert err.residual is not None and err.residual > 0.0

@@ -1,0 +1,147 @@
+"""Tests for the batched Poisson kernel against the sequential oracle."""
+
+import numpy as np
+import pytest
+
+from repro.constants import nm_to_cm
+from repro.device.electrostatics import flatband_voltage
+from repro.errors import ConvergenceError, ParameterError
+from repro.materials.oxide import sio2
+from repro.tcad.charge import sheet_charges, sheet_charges_batch
+from repro.tcad.grid import Mesh1D
+from repro.tcad.poisson1d import solve_mos_poisson, solve_mos_poisson_batch
+
+N_SUB = 1.5e18
+STACK = sio2(nm_to_cm(2.1))
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh1D.geometric(8e-6, n_nodes=181)
+
+
+@pytest.fixture(scope="module")
+def doping(mesh):
+    return np.full(mesh.n_nodes, N_SUB)
+
+
+@pytest.fixture(scope="module")
+def vfb():
+    return flatband_voltage(N_SUB)
+
+
+@pytest.fixture(scope="module")
+def bias_grid(vfb):
+    """Accumulation through strong inversion."""
+    return np.linspace(vfb - 0.6, vfb + 2.5, 33)
+
+
+@pytest.fixture(scope="module")
+def batch(mesh, doping, vfb, bias_grid):
+    return solve_mos_poisson_batch(mesh, doping, STACK, bias_grid, vfb)
+
+
+@pytest.fixture(scope="module")
+def oracle(mesh, doping, vfb, bias_grid):
+    """Warm-started sequential solutions at the same biases."""
+    solutions = []
+    warm = None
+    for vg in bias_grid:
+        sol = solve_mos_poisson(mesh, doping, STACK, float(vg), vfb,
+                                initial_psi=warm)
+        solutions.append(sol)
+        warm = sol.psi_v
+    return solutions
+
+
+class TestOracleEquivalence:
+    def test_full_profiles_match(self, batch, oracle):
+        psi_oracle = np.array([s.psi_v for s in oracle])
+        assert np.max(np.abs(batch.psi_v - psi_oracle)) < 1e-11
+
+    def test_surface_potentials_match(self, batch, oracle):
+        expected = np.array([s.surface_potential_v for s in oracle])
+        assert batch.surface_potential_v == pytest.approx(expected,
+                                                          rel=1e-12,
+                                                          abs=1e-12)
+
+    def test_sheet_charges_match(self, batch, oracle):
+        charges = sheet_charges_batch(batch)
+        for i, sol in enumerate(oracle):
+            scalar = sheet_charges(sol)
+            assert charges.inversion[i] == pytest.approx(scalar.inversion,
+                                                         rel=1e-9)
+            assert charges.depletion[i] == pytest.approx(scalar.depletion,
+                                                         rel=1e-9)
+
+    def test_scalar_view_round_trips(self, batch, bias_grid):
+        sol = batch.solution(5)
+        assert sol.vg == bias_grid[5]
+        assert sol.surface_potential_v == batch.surface_potential_v[5]
+        assert len(batch.solutions()) == batch.n_bias
+
+
+class TestBatchBehaviour:
+    def test_monotone_surface_potential(self, batch):
+        assert np.all(np.diff(batch.surface_potential_v) > 0.0)
+
+    def test_scalar_channel_potential_broadcasts(self, mesh, doping, vfb):
+        vgs = np.array([vfb + 1.0, vfb + 1.5])
+        batch = solve_mos_poisson_batch(mesh, doping, STACK, vgs, vfb,
+                                        channel_potential_v=0.3)
+        assert batch.channel_potential_v == pytest.approx([0.3, 0.3])
+
+    def test_per_bias_channel_potential(self, mesh, doping, vfb):
+        vgs = np.full(2, vfb + 2.0)
+        batch = solve_mos_poisson_batch(mesh, doping, STACK, vgs, vfb,
+                                        channel_potential_v=np.array(
+                                            [0.0, 0.4]))
+        # Quasi-Fermi shift suppresses surface electrons at the drain end.
+        assert batch.electron_cm3[1, 0] < batch.electron_cm3[0, 0]
+
+    def test_shared_warm_start(self, mesh, doping, vfb, batch, bias_grid):
+        warm = batch.psi_v[-1]
+        again = solve_mos_poisson_batch(mesh, doping, STACK, bias_grid, vfb,
+                                        initial_psi=warm)
+        assert np.max(np.abs(again.psi_v - batch.psi_v)) < 1e-9
+
+    def test_stacked_warm_start(self, mesh, doping, vfb, batch, bias_grid):
+        again = solve_mos_poisson_batch(mesh, doping, STACK, bias_grid, vfb,
+                                        initial_psi=batch.psi_v)
+        assert again.iterations.max() <= 2
+
+    def test_empty_batch(self, mesh, doping, vfb):
+        batch = solve_mos_poisson_batch(mesh, doping, STACK,
+                                        np.empty(0), vfb)
+        assert batch.n_bias == 0
+        assert batch.psi_v.shape == (0, mesh.n_nodes)
+
+
+class TestValidation:
+    def test_rejects_mismatched_doping(self, mesh, vfb):
+        with pytest.raises(ParameterError):
+            solve_mos_poisson_batch(mesh, np.full(10, N_SUB), STACK,
+                                    np.array([0.5]), vfb)
+
+    def test_rejects_bad_warm_start_shape(self, mesh, doping, vfb):
+        with pytest.raises(ParameterError):
+            solve_mos_poisson_batch(mesh, doping, STACK,
+                                    np.array([0.5, 0.7]), vfb,
+                                    initial_psi=np.zeros(5))
+        with pytest.raises(ParameterError):
+            solve_mos_poisson_batch(mesh, doping, STACK,
+                                    np.array([0.5, 0.7]), vfb,
+                                    initial_psi=np.zeros((3, mesh.n_nodes)))
+
+    def test_rejects_2d_bias_grid(self, mesh, doping, vfb):
+        with pytest.raises(ParameterError):
+            solve_mos_poisson_batch(mesh, doping, STACK,
+                                    np.zeros((2, 2)), vfb)
+
+    def test_convergence_error_carries_diagnostics(self, mesh, doping, vfb):
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_mos_poisson_batch(mesh, doping, STACK,
+                                    np.array([vfb + 2.0]), vfb, max_iter=2)
+        err = excinfo.value
+        assert err.iterations == 2
+        assert err.residual is not None and err.residual > 0.0

@@ -1,0 +1,104 @@
+"""Record the kernel benchmark suite into ``BENCH_kernels.json``.
+
+Runs the hot-kernel benches (``benchmarks/test_bench_kernels.py`` plus
+the raw super-V_th optimiser bench) under pytest-benchmark and distils
+the machine-readable results into a small summary at the repository
+root.  Committing the summary after perf-relevant PRs builds up the
+performance trajectory of the project; CI runs the same script to make
+sure the suite keeps executing.
+
+Usage (from the repository root)::
+
+    python tools/bench_record.py            # writes BENCH_kernels.json
+    python tools/bench_record.py --check    # run benches, don't write
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+
+#: Bench selection: every kernel bench plus the uncached optimiser flow.
+BENCH_TARGETS = (
+    "benchmarks/test_bench_kernels.py",
+    "benchmarks/test_bench_table2.py::test_bench_supervth_optimizer",
+)
+
+
+def run_benches(json_path: pathlib.Path) -> None:
+    """Run the bench selection, writing pytest-benchmark JSON."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    cmd = [
+        sys.executable, "-m", "pytest", *BENCH_TARGETS,
+        "-q", "--benchmark-only", f"--benchmark-json={json_path}",
+    ]
+    subprocess.run(cmd, cwd=REPO_ROOT, check=True, env=env)
+
+
+def summarise(raw: dict) -> dict:
+    """Distil pytest-benchmark output to one stats record per bench."""
+    benches = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benches[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return {
+        "schema": 1,
+        "generated_by": "tools/bench_record.py",
+        "recorded_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "node": platform.node(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+        },
+        "benchmarks": benches,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the kernel benches and record BENCH_kernels.json")
+    parser.add_argument("--check", action="store_true",
+                        help="run the benches without writing the summary")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = pathlib.Path(tmp) / "bench.json"
+        run_benches(json_path)
+        summary = summarise(json.loads(json_path.read_text()))
+
+    if not summary["benchmarks"]:
+        print("error: no benchmarks were collected", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"ok: {len(summary['benchmarks'])} benches ran "
+              "(summary not written)")
+        return 0
+    OUTPUT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    slowest = max(summary["benchmarks"].items(),
+                  key=lambda kv: kv[1]["mean_s"])
+    print(f"wrote {OUTPUT.name}: {len(summary['benchmarks'])} benches, "
+          f"slowest {slowest[0]} at {1e3 * slowest[1]['mean_s']:.1f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
