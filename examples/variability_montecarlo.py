@@ -12,7 +12,13 @@ dopant-fluctuation Monte Carlo on the two 32nm device families:
   regeneration entirely.
 
 Run:  python examples/variability_montecarlo.py   (~20 s)
+
+Set ``REPRO_EXAMPLES_QUICK=1`` (as the CI smoke job does) to shrink
+the trial counts to a few-second sanity run; the statistics are then
+too noisy to quote but every code path still executes.
 """
+
+import os
 
 import numpy as np
 
@@ -24,9 +30,11 @@ from repro.variability import (
     snm_distribution,
 )
 
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
+
 VDD = 0.25
-N_TRIALS_DELAY = 200
-N_TRIALS_SNM = 80
+N_TRIALS_DELAY = 20 if QUICK else 200
+N_TRIALS_SNM = 8 if QUICK else 80
 
 
 def main() -> None:

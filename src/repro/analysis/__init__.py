@@ -1,10 +1,11 @@
-"""Analysis utilities: sweeps, labelled series, tables and reports."""
+"""Analysis utilities: sweeps, series, tables, reports and provenance."""
 
 from .series import Series
 from .sweep import sweep_1d, sweep_grid
 from .tables import render_table, format_sig
 from .report import Comparison, ExperimentResult
 from .plotting import render_ascii_chart, sparkline
+from .manifest import RunManifest, RunRecord, current_git_sha
 
 __all__ = [
     "Series",
@@ -16,4 +17,7 @@ __all__ = [
     "ExperimentResult",
     "render_ascii_chart",
     "sparkline",
+    "RunManifest",
+    "RunRecord",
+    "current_git_sha",
 ]

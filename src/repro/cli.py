@@ -7,7 +7,14 @@ Usage::
     repro run all              # run everything (slow but complete)
     repro run all --jobs 4     # ... fanned out over 4 worker processes
     repro run table2 --profile # ... printing solver/cache perf counters
+    repro report               # regenerate EXPERIMENTS.md, docs/RESULTS.md,
+                               # results.json from live runs
+    repro report --check       # exit 2 if the committed docs are stale
     python -m repro run table2 # module form
+
+Exit codes: 0 success; 1 a reproduced claim failed to hold; 2 usage
+errors (unknown experiment id, bad flags) or stale generated docs in
+``report --check`` mode.
 """
 
 from __future__ import annotations
@@ -104,6 +111,119 @@ def _cmd_run(targets: list[str], plot: bool = False, jobs: int = 1,
     return 1 if failures else 0
 
 
+def _resolve_ids(targets: list[str] | None) -> list[str] | int:
+    """Expand/validate experiment ids; returns an exit code on error."""
+    known = [eid for eid, _t in list_experiments()]
+    if not targets:
+        return known
+    unknown = [t for t in targets if t not in known]
+    if unknown:
+        print(f"error: unknown experiment "
+              f"{', '.join(repr(t) for t in unknown)}; "
+              f"known ids: {', '.join(known)}",
+              file=sys.stderr)
+        return 2
+    return list(dict.fromkeys(targets))
+
+
+def _results_json_problems(path, manifest, ids: list[str]) -> list[str]:
+    """Structural staleness checks for the committed results.json.
+
+    Byte comparison would be meaningless (wall times and git SHA vary
+    run to run), so the check is semantic: the file must exist, parse,
+    carry the current model schema hash, and record perf counters and
+    wall time for every id that was just run.
+    """
+    import json
+    if not path.exists():
+        return [f"{path.name}: missing"]
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as err:
+        return [f"{path.name}: unparseable ({err})"]
+    problems = []
+    if payload.get("schema_hash") != manifest.schema_hash:
+        problems.append(
+            f"{path.name}: schema hash {payload.get('schema_hash')!r} != "
+            f"current {manifest.schema_hash!r} (model sources changed)")
+    entries = payload.get("experiments", {})
+    for eid in ids:
+        entry = entries.get(eid)
+        if entry is None:
+            problems.append(f"{path.name}: no entry for {eid!r}")
+        elif ("perf_counters" not in entry
+              or "wall_time_s" not in entry):
+            problems.append(f"{path.name}: incomplete entry for {eid!r}")
+    return problems
+
+
+def _cmd_report(root: str, check: bool = False, jobs: int = 1,
+                only: list[str] | None = None,
+                manifest_path: str | None = None) -> int:
+    """Regenerate (or drift-check) the provenance-tracked results docs."""
+    import pathlib
+
+    from .analysis import docgen
+    from .analysis.manifest import RunManifest
+
+    ids = _resolve_ids(only)
+    if isinstance(ids, int):
+        return ids
+    if jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    manifest = RunManifest()
+    if jobs == 1 or len(ids) == 1:
+        for experiment_id in ids:
+            manifest.record(experiment_id)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(jobs, len(ids))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for result, elapsed, counts in pool.map(_run_one_worker, ids):
+                perf.merge(counts)
+                manifest.add(result, wall_time_s=elapsed,
+                             perf_counters=counts)
+
+    docs = docgen.render_docs(manifest.pairs)
+    root_path = pathlib.Path(root)
+    claims = sum(record.claims_total for record in manifest.records)
+    held = sum(record.claims_held for record in manifest.records)
+
+    if check:
+        stale = [rel for rel, text in docs.items()
+                 if not (root_path / rel).exists()
+                 or (root_path / rel).read_text() != text]
+        problems = [f"stale: {rel}" for rel in stale]
+        problems += _results_json_problems(
+            root_path / docgen.RESULTS_JSON, manifest, ids)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print("generated docs have drifted from the code; run "
+                  "'python -m repro report' and commit the result",
+                  file=sys.stderr)
+            return 2
+        print(f"docs up to date: {len(ids)} experiments, "
+              f"{held}/{claims} claims hold")
+        return 0
+
+    for rel, text in docs.items():
+        target = root_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+        print(f"wrote {target}")
+    manifest.save_results_json(root_path / docgen.RESULTS_JSON)
+    print(f"wrote {root_path / docgen.RESULTS_JSON}")
+    trace = (pathlib.Path(manifest_path) if manifest_path
+             else root_path / ".repro" / "manifest.jsonl")
+    manifest.write_jsonl(trace)
+    print(f"appended {len(manifest)} run records to {trace}")
+    print(f"{held}/{claims} claims hold")
+    return 0
+
+
 def _family(strategy: str):
     from .experiments.families import sub_vth_family, super_vth_family
     if strategy == "super-vth":
@@ -148,6 +268,24 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--profile", action="store_true",
                             help="print solver/cache perf counters "
                                  "after the run")
+    report_parser = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md / docs/RESULTS.md / "
+                       "results.json from live runs")
+    report_parser.add_argument("--check", action="store_true",
+                               help="don't write; exit 2 if the committed "
+                                    "docs are stale")
+    report_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                               help="run experiments across N worker "
+                                    "processes (default 1)")
+    report_parser.add_argument("--only", nargs="+", metavar="ID",
+                               help="restrict to these experiment ids "
+                                    "(default: all registered)")
+    report_parser.add_argument("--root", default=".", metavar="DIR",
+                               help="repository root to write/check "
+                                    "(default: current directory)")
+    report_parser.add_argument("--manifest", metavar="PATH",
+                               help="JSONL trace log path (default: "
+                                    "<root>/.repro/manifest.jsonl)")
     cards_parser = sub.add_parser(
         "cards", help="print a strategy family's model cards")
     cards_parser.add_argument("strategy", help="super-vth or sub-vth")
@@ -158,6 +296,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "report":
+        return _cmd_report(args.root, check=args.check, jobs=args.jobs,
+                           only=args.only, manifest_path=args.manifest)
     if args.command == "cards":
         return _cmd_cards(args.strategy)
     if args.command == "save-family":

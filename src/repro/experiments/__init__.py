@@ -14,6 +14,7 @@ from .registry import (
     run_experiment,
     list_experiments,
     experiment_ids,
+    experiment_title,
 )
 # Importing the modules registers them.
 from . import (  # noqa: F401  -- imported for registration side effect
@@ -48,4 +49,5 @@ from . import (  # noqa: F401  -- imported for registration side effect
     headlines,
 )
 
-__all__ = ["run_experiment", "list_experiments", "experiment_ids"]
+__all__ = ["run_experiment", "list_experiments", "experiment_ids",
+           "experiment_title"]

@@ -38,6 +38,18 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
     return func()
 
 
+def experiment_title(experiment_id: str) -> str:
+    """Title of one registered experiment (without running it)."""
+    try:
+        title, _func = _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return title
+
+
 def experiment_ids() -> list[str]:
     """All registered experiment ids, sorted."""
     return sorted(_REGISTRY)

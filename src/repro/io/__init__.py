@@ -14,7 +14,10 @@ from .serialize import (
     design_from_dict,
     family_to_dict,
     family_from_dict,
+    comparison_to_dict,
+    comparison_from_dict,
     result_to_dict,
+    result_from_dict,
     save_json,
     load_json,
 )
@@ -26,7 +29,10 @@ __all__ = [
     "design_from_dict",
     "family_to_dict",
     "family_from_dict",
+    "comparison_to_dict",
+    "comparison_from_dict",
     "result_to_dict",
+    "result_from_dict",
     "save_json",
     "load_json",
 ]

@@ -11,7 +11,7 @@ import json
 import pathlib
 from typing import Any
 
-from ..analysis.report import ExperimentResult
+from ..analysis.report import Comparison, ExperimentResult
 from ..device.doping import DopingProfile, HaloImplant
 from ..device.geometry import DeviceGeometry
 from ..device.mosfet import MOSFET, Polarity
@@ -138,8 +138,37 @@ def family_from_dict(payload: dict[str, Any]) -> DeviceFamily:
 
 # -- experiment results -----------------------------------------------------------
 
+def comparison_to_dict(comparison: Comparison) -> dict[str, Any]:
+    """Serialise one paper-vs-measured comparison record.
+
+    Values are coerced to plain Python scalars: experiments routinely
+    set them from numpy reductions, and ``np.bool_`` is not JSON
+    serialisable.
+    """
+    return {
+        "claim": comparison.claim,
+        "paper_value": float(comparison.paper_value),
+        "measured_value": float(comparison.measured_value),
+        "unit": comparison.unit,
+        "holds": bool(comparison.holds),
+        "note": comparison.note,
+    }
+
+
+def comparison_from_dict(payload: dict[str, Any]) -> Comparison:
+    """Rebuild a comparison from :func:`comparison_to_dict` output."""
+    return Comparison(
+        claim=payload["claim"],
+        paper_value=payload["paper_value"],
+        measured_value=payload["measured_value"],
+        unit=payload.get("unit", ""),
+        holds=payload.get("holds", True),
+        note=payload.get("note", ""),
+    )
+
+
 def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
-    """Serialise an experiment result (one-way: for plotting/archival)."""
+    """Serialise an experiment result (round-trips via result_from_dict)."""
     return {
         "schema": SCHEMA_VERSION,
         "kind": "experiment_result",
@@ -157,18 +186,28 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
             }
             for s in result.series
         ],
-        "comparisons": [
-            {
-                "claim": c.claim,
-                "paper_value": c.paper_value,
-                "measured_value": c.measured_value,
-                "unit": c.unit,
-                "holds": c.holds,
-                "note": c.note,
-            }
-            for c in result.comparisons
-        ],
+        "comparisons": [comparison_to_dict(c) for c in result.comparisons],
     }
+
+
+def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
+    """Rebuild an experiment result from :func:`result_to_dict` output."""
+    _check(payload, "experiment_result")
+    from ..analysis.series import Series
+    series = tuple(
+        Series(label=s["label"], x=s["x"], y=s["y"],
+               x_label=s["x_label"], y_label=s["y_label"])
+        for s in payload["series"]
+    )
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        series=series,
+        headers=tuple(payload["headers"]),
+        rows=tuple(tuple(row) for row in payload["rows"]),
+        comparisons=tuple(comparison_from_dict(c)
+                          for c in payload["comparisons"]),
+    )
 
 
 # -- files ------------------------------------------------------------------------

@@ -50,6 +50,22 @@ def merge(counts: dict[str, int]) -> None:
     _COUNTERS.update(counts)
 
 
+def delta(before: dict[str, int]) -> dict[str, int]:
+    """Counter increments since a :func:`snapshot` (zero deltas dropped).
+
+    The provenance manifest brackets each experiment run with a
+    snapshot/delta pair so ``results.json`` attributes numerical work
+    (solves, iterations, cache traffic) to the experiment that caused
+    it rather than to the whole process.
+    """
+    changes: dict[str, int] = {}
+    for name, value in _COUNTERS.items():
+        increment = value - before.get(name, 0)
+        if increment:
+            changes[name] = increment
+    return changes
+
+
 def reset() -> None:
     """Zero every counter."""
     _COUNTERS.clear()

@@ -38,6 +38,25 @@ class TestComparison:
                        note="context")
         assert "context" in c.render()
 
+    def test_unit_rendered_on_both_values(self):
+        c = Comparison(claim="S_S flat", paper_value=80.0,
+                       measured_value=78.3, unit="mV/dec")
+        assert c.render().count("mV/dec") == 2
+
+    def test_values_use_significant_figures(self):
+        c = Comparison(claim="x", paper_value=0.001234,
+                       measured_value=1234.5)
+        text = c.render()
+        assert "0.00123" in text
+        assert "1230" in text
+
+    def test_render_states_both_sides(self):
+        c = Comparison(claim="energy falls", paper_value=0.77,
+                       measured_value=0.75)
+        text = c.render()
+        assert "paper 0.770" in text
+        assert "measured 0.750" in text
+
 
 class TestExperimentResult:
     def test_get_series(self, result):

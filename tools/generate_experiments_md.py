@@ -1,87 +1,19 @@
 """Regenerate EXPERIMENTS.md from the live experiment registry.
 
-Runs every registered experiment and writes a markdown report pairing
-each paper claim with the measured value, plus the regenerated table
-rows.  Run from the repository root:
+Kept as a compatibility alias: the results pipeline now regenerates
+EXPERIMENTS.md, docs/RESULTS.md and results.json together so the
+documents cannot drift from each other.  This forwards to
+``tools/generate_results_md.py`` / ``python -m repro report``.  Run
+from the repository root::
 
     python tools/generate_experiments_md.py
 """
 
 from __future__ import annotations
 
-import pathlib
-import time
+import sys
 
-from repro.analysis.tables import format_sig
-from repro.experiments import list_experiments, run_experiment
-
-HEADER = """# EXPERIMENTS — paper vs measured
-
-Auto-generated by ``tools/generate_experiments_md.py``; regenerate after
-any model change.  Each section reproduces one artefact of
-*Nanometer Device Scaling in Subthreshold Circuits* (DAC 2007) and
-restates every claim the benchmark suite asserts, with the paper's value
-and the reproduction's measured value side by side.
-
-Absolute currents, delays and energies are not expected to match the
-paper (our substrate is a calibrated 1-D-Poisson/quasi-2-D simulator,
-not the authors' MEDICI decks); the reproduced quantities are the
-*trends* — who wins, in which direction, by roughly what factor.
-A `MISS` marker would indicate a trend that failed to reproduce; the
-committed baseline has none.
-
-"""
-
-
-def fmt(value: float) -> str:
-    if value != value:  # NaN -> the claim is qualitative
-        return "—"
-    return format_sig(value, 3)
-
-
-def main() -> None:
-    sections: list[str] = [HEADER]
-    total = 0
-    misses = 0
-    for experiment_id, title in list_experiments():
-        start = time.perf_counter()
-        result = run_experiment(experiment_id)
-        elapsed = time.perf_counter() - start
-        sections.append(f"## {experiment_id} — {title}\n")
-        if result.rows:
-            header = "| " + " | ".join(result.headers) + " |"
-            rule = "|" + "|".join("---" for _ in result.headers) + "|"
-            sections.append(header)
-            sections.append(rule)
-            for row in result.rows:
-                cells = [c if isinstance(c, str) else format_sig(float(c))
-                         for c in row]
-                sections.append("| " + " | ".join(cells) + " |")
-            sections.append("")
-        if result.series:
-            labels = ", ".join(s.label for s in result.series)
-            sections.append(f"*Series:* {labels}\n")
-        sections.append("| claim | paper | measured | status | note |")
-        sections.append("|---|---|---|---|---|")
-        for c in result.comparisons:
-            total += 1
-            status = "OK" if c.holds else "**MISS**"
-            if not c.holds:
-                misses += 1
-            unit = f" {c.unit}" if c.unit else ""
-            sections.append(
-                f"| {c.claim} | {fmt(c.paper_value)}{unit} "
-                f"| {fmt(c.measured_value)}{unit} | {status} "
-                f"| {c.note or ''} |"
-            )
-        sections.append(f"\n*({elapsed:.1f} s)*\n")
-    sections.append(
-        f"---\n\n**Summary: {total - misses}/{total} claims hold.**\n"
-    )
-    out = pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
-    out.write_text("\n".join(sections))
-    print(f"wrote {out} ({total - misses}/{total} claims hold)")
-
+from generate_results_md import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Regenerate the provenance-tracked results docs from live runs.
+
+Thin wrapper over ``python -m repro report``: runs every registered
+experiment and rewrites EXPERIMENTS.md, docs/RESULTS.md and
+results.json at the repository root.  Run from the repository root
+(with ``src`` on PYTHONPATH or the package installed)::
+
+    python tools/generate_results_md.py             # regenerate
+    python tools/generate_results_md.py --check     # exit 2 on drift
+    python tools/generate_results_md.py --jobs 4    # parallel workers
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="don't write; exit 2 if committed docs "
+                             "are stale")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    args = parser.parse_args(argv)
+
+    from repro.cli import main as repro_main
+    forwarded = ["report", "--root", str(REPO_ROOT),
+                 "--jobs", str(args.jobs)]
+    if args.check:
+        forwarded.append("--check")
+    return repro_main(forwarded)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
