@@ -1,0 +1,96 @@
+"""Benches: the vectorised circuit-evaluation layer.
+
+Batched VTC/SNM extraction and array-native Monte Carlo, each paired
+with its sequential (scalar-oracle) counterpart so ``BENCH_circuits.json``
+records the before/after of the vectorisation.  The sequential Monte
+Carlo oracles are the slow half; set ``REPRO_BENCH_QUICK=1`` (the CI
+quick mode) to skip them.
+"""
+
+import os
+
+import pytest
+from conftest import run_once
+
+from repro.circuit import Inverter, butterfly_snm, find_vmin, noise_margins
+from repro.device import nfet, pfet
+from repro.variability import delay_distribution, snm_distribution
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+slow = pytest.mark.skipif(
+    QUICK, reason="sequential oracle skipped in quick mode")
+
+
+def _build_inverter(vdd=0.25):
+    return Inverter(
+        nfet=nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                  n_p_halo_cm3=1.5e18),
+        pfet=pfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.2e18,
+                  n_p_halo_cm3=1.5e18, width_um=2.0),
+        vdd=vdd,
+    )
+
+
+def test_bench_vtc_batch(benchmark):
+    inv = _build_inverter()
+    vins, vouts = run_once(benchmark, inv.vtc, 121)
+    assert vouts[0] > vouts[-1]
+
+
+def test_bench_vtc_sequential(benchmark):
+    inv = _build_inverter()
+    vins, vouts = run_once(benchmark, inv.vtc, 121, "sequential")
+    assert vouts[0] > vouts[-1]
+
+
+def test_bench_snm_batch(benchmark):
+    inv = _build_inverter()
+    nm = run_once(benchmark, noise_margins, inv)
+    assert nm.snm > 0.0
+
+
+def test_bench_snm_sequential(benchmark):
+    inv = _build_inverter()
+    nm = run_once(benchmark, noise_margins, inv, "sequential")
+    assert nm.snm > 0.0
+
+
+def test_bench_snm_mc100_batch(benchmark):
+    inv = _build_inverter()
+    mc = run_once(benchmark, snm_distribution, inv, 100)
+    assert mc.mean > 0.0
+
+
+@slow
+def test_bench_snm_mc100_sequential(benchmark):
+    inv = _build_inverter()
+    mc = run_once(benchmark, snm_distribution, inv, 100,
+                  solver="sequential")
+    assert mc.mean > 0.0
+
+
+def test_bench_delay_mc200_batch(benchmark):
+    inv = _build_inverter()
+    mc = run_once(benchmark, delay_distribution, inv, 200)
+    assert mc.mean > 0.0
+
+
+@slow
+def test_bench_delay_mc200_sequential(benchmark):
+    inv = _build_inverter()
+    mc = run_once(benchmark, delay_distribution, inv, 200,
+                  solver="sequential")
+    assert mc.mean > 0.0
+
+
+def test_bench_butterfly_batch(benchmark):
+    inv = _build_inverter()
+    vtc = inv.vtc(161)
+    snm = run_once(benchmark, butterfly_snm, vtc)
+    assert snm > 0.0
+
+
+def test_bench_vmin_batch(benchmark):
+    inv = _build_inverter(vdd=0.3)
+    result = run_once(benchmark, find_vmin, inv)
+    assert 0.08 < result.vmin < 0.7

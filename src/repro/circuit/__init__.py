@@ -8,10 +8,25 @@ those testbenches on top of the compact device models, plus SRAM and
 ring-oscillator extensions.
 """
 
+from .batch import (
+    BatchNoiseMargins,
+    LOST_REGENERATION_MESSAGES,
+    SOLVER_MODES,
+    gain_batch,
+    noise_margins_batch,
+    solve_balance_batch,
+    solve_vtc_batch,
+)
 from .inverter import Inverter
 from .snm import NoiseMargins, noise_margins, butterfly_snm
-from .delay import DelayResult, fo1_delay, analytic_delay
-from .energy import EnergyBreakdown, chain_energy_per_cycle, find_vmin, VminResult
+from .delay import DelayResult, fo1_delay, analytic_delay, analytic_delay_batch
+from .energy import (
+    EnergyBreakdown,
+    VminResult,
+    chain_energy_per_cycle,
+    chain_energy_sweep,
+    find_vmin,
+)
 from .chain import InverterChain
 from .ring_oscillator import RingOscillator
 from .sram import SramCell, hold_snm, read_snm
@@ -27,6 +42,13 @@ from .cell_library import CellLibrary, characterise_design
 from .dvs import energy_per_cycle_at_throughput, dvs_range
 
 __all__ = [
+    "BatchNoiseMargins",
+    "LOST_REGENERATION_MESSAGES",
+    "SOLVER_MODES",
+    "gain_batch",
+    "noise_margins_batch",
+    "solve_balance_batch",
+    "solve_vtc_batch",
     "Inverter",
     "NoiseMargins",
     "noise_margins",
@@ -34,8 +56,10 @@ __all__ = [
     "DelayResult",
     "fo1_delay",
     "analytic_delay",
+    "analytic_delay_batch",
     "EnergyBreakdown",
     "chain_energy_per_cycle",
+    "chain_energy_sweep",
     "find_vmin",
     "VminResult",
     "InverterChain",

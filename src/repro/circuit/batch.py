@@ -1,0 +1,383 @@
+"""Batched circuit-evaluation kernels: vectorised VTC, gain and SNM.
+
+Scalar circuit evaluation solves one current-balance root-find per
+(input voltage, V_th perturbation) point — 101 scalar ``gain`` calls
+per SNM extraction and one full extraction per Monte Carlo trial.
+This module applies the same stacked-system trick as the batched
+Poisson kernel one layer up: *all* points of a grid — every input
+voltage of every Monte Carlo trial — are solved simultaneously by a
+masked vectorised bisection on the inverter current balance
+
+``I_N(V_in, V_out; dV_th,n) = I_P(V_in, V_out; dV_th,p)``
+
+The balance is strictly increasing in ``V_out``, so each point's
+bracket ``[0, V_dd]`` contains exactly one root; rail points (balance
+already signed at a rail) retire from the active mask immediately and
+every other point bisects until its bracket falls below ``xtol``,
+mirroring the Poisson batch kernel's convergence mask.
+
+Both devices of every point are evaluated in one fused array pass:
+the NFET and PFET legs share the same EKV expression tree, so their
+per-point parameters (V_th0 + offset, slope factor, DIBL
+coefficients, I_spec, velocity-saturation factors) are stacked into
+length-2n arrays and a balance evaluation costs a fixed ~50 numpy ops
+regardless of batch size.
+
+The gain = -1 crossings of :func:`noise_margins_batch` are located by
+the same 101-point scan as the scalar path, then refined by staged
+sub-grid bisection: each stage solves one batched VTC system for all
+trials' candidate points at once, shrinking every bracket 64x, so a
+whole Monte Carlo population costs a handful of batched solves instead
+of thousands of scalar root-finds.
+
+The scalar implementations remain available as correctness oracles
+behind each consumer's ``solver=`` switch (the same convention as
+:class:`repro.tcad.DeviceSimulator`); agreement to <= 1e-9 relative is
+locked down by ``tests/test_circuit_batch_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import perf
+from ..constants import thermal_voltage
+from ..device.iv import _ekv_f
+from ..errors import ParameterError
+
+#: Solver switch values shared by every batched/scalar consumer pair.
+SOLVER_MODES = ("batch", "sequential")
+
+#: Default bracket tolerance of the batched bisection [V].
+XTOL_DEFAULT = 1e-10
+
+#: Sub-intervals per crossing-refinement stage (each stage shrinks the
+#: gain = -1 bracket by this factor with a single batched VTC solve).
+_REFINE_INTERVALS = 64
+
+#: The exact messages the scalar SNM extraction raises when an
+#: inverter has lost regeneration; Monte Carlo maps *only* these to
+#: SNM = 0 and re-raises every other :class:`ParameterError`.
+LOST_REGENERATION_MESSAGES = (
+    "VTC never reaches gain -1; supply too low for regeneration",
+    "gain = -1 crossing hits the sweep boundary",
+)
+
+
+def validate_solver(solver: str) -> None:
+    """Raise :class:`ParameterError` unless ``solver`` is a known mode."""
+    if solver not in SOLVER_MODES:
+        raise ParameterError(
+            f"unknown solver {solver!r}; choose one of {SOLVER_MODES}"
+        )
+
+
+def solve_balance_batch(balance, lo, hi, xtol: float = XTOL_DEFAULT
+                        ) -> np.ndarray:
+    """Masked vectorised bisection on a monotone-increasing balance.
+
+    ``balance(v)`` maps an array of candidate outputs to the signed
+    balance at each point; each bracket ``[lo_i, hi_i]`` must contain
+    the sign change.  Points whose bracket is already below ``xtol``
+    (rails pinned by the caller) never enter the active mask; the rest
+    retire as their brackets converge.  Returns bracket midpoints.
+    """
+    if xtol <= 0.0:
+        raise ParameterError("xtol must be positive")
+    lo = np.array(lo, dtype=float, copy=True)
+    hi = np.array(hi, dtype=float, copy=True)
+    active = (hi - lo) > xtol
+    max_sweeps = max(int(math.ceil(math.log2(
+        max(float((hi - lo).max(initial=0.0)), xtol) / xtol))) + 2, 1)
+    for _ in range(max_sweeps):
+        if not active.any():
+            break
+        mid = np.where(active, 0.5 * (lo + hi), lo)
+        negative = balance(mid) < 0.0
+        lo = np.where(active & negative, mid, lo)
+        hi = np.where(active & ~negative, mid, hi)
+        active &= (hi - lo) > xtol
+        perf.bump("circuit.balance_bisection_sweeps")
+    return 0.5 * (lo + hi)
+
+
+class _VtcSystem:
+    """Fused NFET+PFET balance evaluator for one batch of VTC points.
+
+    Per-point device parameters are stacked into length-2n arrays
+    (NFET leg first) so a balance evaluation is one pass of elementwise
+    numpy ops; the arithmetic reproduces :meth:`IVModel.ids` term for
+    term, so batch and scalar paths agree to root-finder tolerance.
+    """
+
+    def __init__(self, inverter, vin: np.ndarray,
+                 dvth_n: np.ndarray, dvth_p: np.ndarray) -> None:
+        vdd = inverter.vdd
+        n = vin.size
+        self.vdd = vdd
+        self.n = n
+        pieces: dict[str, list[np.ndarray]] = {}
+        for iv, vgs, dvth in ((inverter.nfet.iv, vin, dvth_n),
+                              (inverter.pfet.iv, vdd - vin, dvth_p)):
+            vt = thermal_voltage(iv.temperature_k)
+            leg = {
+                "vgs": vgs,
+                "ispec": np.asarray(iv.i_spec(vgs), dtype=float),
+                "vth0": (iv._vth0 + iv.vth_offset_v) + dvth,
+                "m": iv._m,
+                "b": iv._sce_barrier,
+                "twob": 2.0 * iv._sce_barrier,
+                "e1": iv._sce_e1,
+                "e2": iv._sce_e2,
+                "vt": vt,
+                "twovt": 2.0 * vt,
+                "mu": iv.mobility.low_field(iv._n_eff),
+                "vsat_leff": iv.mobility.vsat() * iv.geometry.l_eff_cm,
+            }
+            for key, value in leg.items():
+                arr = np.broadcast_to(np.asarray(value, dtype=float), (n,))
+                pieces.setdefault(key, []).append(arr)
+        for key, (n_arr, p_arr) in pieces.items():
+            setattr(self, key, np.concatenate([n_arr, p_arr]))
+
+    def balance(self, vout: np.ndarray) -> np.ndarray:
+        """``I_N - I_P`` at each point's candidate output voltage."""
+        vds = np.concatenate([np.maximum(vout, 0.0),
+                              np.maximum(self.vdd - vout, 0.0)])
+        dv = ((self.twob + vds) * self.e1
+              + 2.0 * np.sqrt(self.b * (self.b + vds)) * self.e2)
+        vth = self.vth0 - dv
+        vp = (self.vgs - vth) / self.m
+        i_f = _ekv_f(vp / self.vt)
+        i_r = _ekv_f((vp - vds) / self.vt)
+        current = self.ispec * (i_f - i_r)
+        severity = i_f / (1.0 + i_f)
+        v_drive = np.maximum(vp, self.twovt)
+        v_dsat = vds * v_drive / (vds + v_drive + 1e-12)
+        vsat_term = (self.mu * v_dsat) / self.vsat_leff
+        current = current / (1.0 + severity * vsat_term)
+        return current[:self.n] - current[self.n:]
+
+
+def _broadcast_inputs(vin, dvth_n, dvth_p):
+    vin_arr, dn_arr, dp_arr = np.broadcast_arrays(
+        np.asarray(vin, dtype=float),
+        np.asarray(dvth_n, dtype=float),
+        np.asarray(dvth_p, dtype=float),
+    )
+    return vin_arr, dn_arr, dp_arr
+
+
+def solve_vtc_batch(inverter, vin, dvth_n=0.0, dvth_p=0.0,
+                    xtol: float = XTOL_DEFAULT):
+    """Static output voltages for whole arrays of VTC points [V].
+
+    Solves ``I_N(V_in, V_out) = I_P(V_in, V_out)`` for every
+    (``vin``, ``dvth_n``, ``dvth_p``) triple at once (inputs broadcast
+    together); each element is the batched equivalent of
+    ``Inverter.vtc_point`` on a V_th-offset copy of the devices.
+    Scalar inputs return a float.
+    """
+    vin_arr, dn_arr, dp_arr = _broadcast_inputs(vin, dvth_n, dvth_p)
+    shape = vin_arr.shape
+    vdd = inverter.vdd
+    flat = vin_arr.ravel()
+    if np.any((flat < 0.0) | (flat > vdd)):
+        raise ParameterError(
+            f"vin outside the supply range [0, {vdd}]"
+        )
+    system = _VtcSystem(inverter, flat, dn_arr.ravel(), dp_arr.ravel())
+    n = flat.size
+    f_lo = system.balance(np.zeros(n))
+    f_hi = system.balance(np.full(n, vdd))
+    at_lo = f_lo >= 0.0
+    at_hi = (f_hi <= 0.0) & ~at_lo
+    # Rail points are pinned by collapsing their bracket, which keeps
+    # them out of the bisection's active mask from sweep zero.
+    lo = np.where(at_hi, vdd, 0.0)
+    hi = np.where(at_lo, 0.0, vdd)
+    perf.bump("circuit.vtc_batch_solves")
+    perf.bump("circuit.vtc_batch_points", n)
+    vout = solve_balance_batch(system.balance, lo, hi, xtol=xtol)
+    if shape == ():
+        return float(vout[0])
+    return vout.reshape(shape)
+
+
+def gain_batch(inverter, vin, dvth_n=0.0, dvth_p=0.0, h: float | None = None,
+               xtol: float = XTOL_DEFAULT):
+    """Small-signal gain dV_out/dV_in for arrays of VTC points.
+
+    Uses the same finite-difference stencil (step ``V_dd * 1e-4``,
+    clamped at the rails) as ``Inverter.gain``, evaluated from one
+    batched VTC solve over all ``2 * n`` stencil endpoints.
+    """
+    vin_arr, dn_arr, dp_arr = _broadcast_inputs(vin, dvth_n, dvth_p)
+    shape = vin_arr.shape
+    gains = _gain_flat(inverter, vin_arr.ravel(), dn_arr.ravel(),
+                       dp_arr.ravel(), h, xtol)
+    if shape == ():
+        return float(gains[0])
+    return gains.reshape(shape)
+
+
+def _gain_flat(inverter, vin: np.ndarray, dvth_n: np.ndarray,
+               dvth_p: np.ndarray, h: float | None,
+               xtol: float) -> np.ndarray:
+    vdd = inverter.vdd
+    step = (vdd * 1e-4) if h is None else h
+    lo = np.maximum(vin - step, 0.0)
+    hi = np.minimum(vin + step, vdd)
+    if np.any(hi <= lo):
+        raise ParameterError("gain stencil collapsed; vin at a corner?")
+    vouts = solve_vtc_batch(
+        inverter,
+        np.concatenate([hi, lo]),
+        np.concatenate([dvth_n, dvth_n]),
+        np.concatenate([dvth_p, dvth_p]),
+        xtol=xtol,
+    )
+    m = vin.size
+    return (vouts[:m] - vouts[m:]) / (hi - lo)
+
+
+@dataclass(frozen=True)
+class BatchNoiseMargins:
+    """Per-trial noise-margin arrays of a batched SNM extraction.
+
+    Attributes mirror :class:`repro.circuit.snm.NoiseMargins`
+    elementwise; trials that lost regeneration carry NaN in every
+    voltage field and a nonzero ``lost_code``.
+
+    Attributes
+    ----------
+    v_il / v_ih / v_ol / v_oh / nm_low / nm_high:
+        Noise-margin voltages per trial [V].
+    lost_code:
+        0 = regenerative, 1 = the VTC never reaches gain -1,
+        2 = a gain = -1 crossing hits the sweep boundary (the indices
+        of :data:`LOST_REGENERATION_MESSAGES`, offset by one).
+    """
+
+    v_il: np.ndarray
+    v_ih: np.ndarray
+    v_ol: np.ndarray
+    v_oh: np.ndarray
+    nm_low: np.ndarray
+    nm_high: np.ndarray
+    lost_code: np.ndarray
+
+    @property
+    def lost(self) -> np.ndarray:
+        """Boolean mask of trials that lost regeneration."""
+        return self.lost_code > 0
+
+    @property
+    def snm(self) -> np.ndarray:
+        """min(NM_L, NM_H) per trial (NaN where regeneration is lost)."""
+        return np.minimum(self.nm_low, self.nm_high)
+
+
+def _refine_crossings(inverter, a: np.ndarray, b: np.ndarray,
+                      sign: np.ndarray, dvth_n: np.ndarray,
+                      dvth_p: np.ndarray, xtol: float) -> np.ndarray:
+    """Shrink each gain = -1 bracket ``[a, b]`` below ``xtol``.
+
+    ``sign`` is +1 where ``gain + 1`` crosses downwards inside the
+    bracket (the V_IL side) and -1 where it crosses upwards (V_IH);
+    multiplying by it folds both cases into "first negative grid
+    point".  Every stage evaluates all jobs' sub-grids in a single
+    batched VTC solve and keeps the first sign-change sub-interval.
+    """
+    n_jobs = a.size
+    if n_jobs == 0:
+        return a
+    frac = np.linspace(0.0, 1.0, _REFINE_INTERVALS + 1)
+    width = float((b - a).max())
+    n_stages = max(1, int(math.ceil(
+        math.log(max(width, xtol) / xtol) / math.log(_REFINE_INTERVALS))))
+    dn_rep = np.repeat(dvth_n, frac.size)
+    dp_rep = np.repeat(dvth_p, frac.size)
+    for _ in range(n_stages):
+        grid = a[:, None] + frac[None, :] * (b - a)[:, None]
+        gains = _gain_flat(inverter, grid.ravel(), dn_rep, dp_rep,
+                           None, xtol).reshape(n_jobs, frac.size)
+        folded = (gains + 1.0) * sign[:, None]
+        # First negative grid point; the bracket invariant guarantees
+        # folded[:, 0] >= 0 > folded[:, -1], the clip guards the
+        # degenerate bracket-narrower-than-gain-noise case.
+        idx = np.clip(np.argmax(folded < 0.0, axis=1),
+                      1, _REFINE_INTERVALS)
+        a = np.take_along_axis(grid, (idx - 1)[:, None], axis=1).ravel()
+        b = np.take_along_axis(grid, idx[:, None], axis=1).ravel()
+    return 0.5 * (a + b)
+
+
+def noise_margins_batch(inverter, dvth_n=0.0, dvth_p=0.0, n_scan: int = 101,
+                        xtol: float = XTOL_DEFAULT) -> BatchNoiseMargins:
+    """Gain = -1 noise margins for whole arrays of V_th perturbations.
+
+    The batched equivalent of running ``noise_margins`` on a
+    V_th-offset copy of the inverter per trial: the same 101-point
+    scan grid locates each trial's two sign-change brackets, staged
+    sub-grid bisection refines them below ``xtol``, and one more
+    batched solve reads off ``V_OL``/``V_OH``.  Trials whose VTC never
+    reaches gain -1 (or only at the sweep boundary) are flagged in
+    ``lost_code`` instead of raising.
+    """
+    if n_scan < 5:
+        raise ParameterError("need at least 5 scan points")
+    dn_arr, dp_arr = np.broadcast_arrays(np.asarray(dvth_n, dtype=float),
+                                         np.asarray(dvth_p, dtype=float))
+    shape = dn_arr.shape
+    dn = np.atleast_1d(dn_arr.ravel())
+    dp = np.atleast_1d(dp_arr.ravel())
+    trials = dn.size
+    vdd = inverter.vdd
+    margin = vdd * 1e-3
+    vins = np.linspace(margin, vdd - margin, n_scan)
+
+    vin_grid = np.broadcast_to(vins, (trials, n_scan))
+    gains = _gain_flat(inverter, vin_grid.ravel(),
+                       np.repeat(dn, n_scan), np.repeat(dp, n_scan),
+                       None, xtol).reshape(trials, n_scan)
+    below = (gains + 1.0) < 0.0
+    has_crossing = below.any(axis=1)
+    first = np.argmax(below, axis=1)
+    last = n_scan - 1 - np.argmax(below[:, ::-1], axis=1)
+    lost_code = np.zeros(trials, dtype=int)
+    lost_code[~has_crossing] = 1
+    boundary = has_crossing & ((first == 0) | (last == n_scan - 1))
+    lost_code[boundary] = 2
+    ok = lost_code == 0
+
+    nan = np.full(trials, np.nan)
+    v_il, v_ih = nan.copy(), nan.copy()
+    v_ol, v_oh = nan.copy(), nan.copy()
+    k = int(ok.sum())
+    if k:
+        first_ok, last_ok = first[ok], last[ok]
+        a = np.concatenate([vins[first_ok - 1], vins[last_ok]])
+        b = np.concatenate([vins[first_ok], vins[last_ok + 1]])
+        sign = np.concatenate([np.ones(k), -np.ones(k)])
+        dn2 = np.concatenate([dn[ok], dn[ok]])
+        dp2 = np.concatenate([dp[ok], dp[ok]])
+        roots = _refine_crossings(inverter, a, b, sign, dn2, dp2, xtol)
+        v_il[ok] = roots[:k]
+        v_ih[ok] = roots[k:]
+        vouts = solve_vtc_batch(inverter, roots, dn2, dp2, xtol=xtol)
+        v_oh[ok] = vouts[:k]
+        v_ol[ok] = vouts[k:]
+    perf.bump("circuit.snm_batch_extractions", trials)
+    return BatchNoiseMargins(
+        v_il=v_il.reshape(shape) if shape else v_il,
+        v_ih=v_ih.reshape(shape) if shape else v_ih,
+        v_ol=v_ol.reshape(shape) if shape else v_ol,
+        v_oh=v_oh.reshape(shape) if shape else v_oh,
+        nm_low=(v_il - v_ol).reshape(shape) if shape else v_il - v_ol,
+        nm_high=(v_oh - v_ih).reshape(shape) if shape else v_oh - v_ih,
+        lost_code=lost_code.reshape(shape) if shape else lost_code,
+    )

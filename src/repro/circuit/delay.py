@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from .. import perf
 from ..errors import ParameterError
 from .inverter import Inverter
 from .transient import propagation_delay
@@ -62,6 +65,35 @@ def analytic_delay(inverter: Inverter, c_load_f: float | None = None,
     i_on = 0.5 * (inverter.nfet.i_on(vdd) + inverter.pfet.i_on(vdd))
     if i_on <= 0.0:
         raise ParameterError("inverter has no on-current")
+    return k_d * c_load * vdd / i_on
+
+
+def analytic_delay_batch(inverter: Inverter, dvth_n=0.0, dvth_p=0.0,
+                         c_load_f: float | None = None,
+                         k_d: float = K_D_DEFAULT) -> np.ndarray:
+    """Eq. 4 delay for whole arrays of V_th perturbation pairs [s].
+
+    The batched equivalent of ``analytic_delay`` on a V_th-offset copy
+    of the inverter per element: the offsets enter the on-currents
+    through the ``vth_shift_v`` hook of :meth:`MOSFET.ids`, so the
+    whole Monte Carlo population is two vectorised I-V evaluations.
+    The load is the *unperturbed* inverter's FO1 load unless
+    ``c_load_f`` overrides it (matching ``delay_distribution``).
+    """
+    if k_d <= 0.0:
+        raise ParameterError("k_d must be positive")
+    c_load = (inverter.load_capacitance(fanout=1) if c_load_f is None
+              else c_load_f)
+    if c_load <= 0.0:
+        raise ParameterError("load capacitance must be positive")
+    dn, dp = np.broadcast_arrays(np.asarray(dvth_n, dtype=float),
+                                 np.asarray(dvth_p, dtype=float))
+    vdd = inverter.vdd
+    i_on = 0.5 * (inverter.nfet.ids(vdd, vdd, vth_shift_v=dn)
+                  + inverter.pfet.ids(vdd, vdd, vth_shift_v=dp))
+    if np.any(i_on <= 0.0):
+        raise ParameterError("inverter has no on-current")
+    perf.bump("circuit.delay_batch_points", int(np.asarray(i_on).size))
     return k_d * c_load * vdd / i_on
 
 

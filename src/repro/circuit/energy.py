@@ -21,7 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize_scalar
 
+from .. import perf
 from ..errors import ParameterError
+from .batch import validate_solver
 from .delay import K_D_DEFAULT, analytic_delay
 from .inverter import Inverter
 from .transient import propagation_delay
@@ -92,6 +94,44 @@ def chain_energy_per_cycle(inverter: Inverter, n_stages: int = 30,
                            cycle_time_s=cycle)
 
 
+def chain_energy_sweep(inverter: Inverter, vdd_grid,
+                       n_stages: int = 30, activity: float = 0.1,
+                       k_d: float = K_D_DEFAULT) -> np.ndarray:
+    """Total Eq. 7 energy per cycle over a whole V_dd grid [J].
+
+    Vectorised equivalent of calling ``chain_energy_per_cycle`` (with
+    the analytic delay) at each grid point: the bias-dependent load
+    capacitance, on-currents and leakage are all evaluated as arrays,
+    so the Fig. 6 V_min bracket sweep costs a handful of vector ops
+    instead of ``n_grid`` scalar rebuild-and-solve rounds.
+    """
+    if n_stages < 1:
+        raise ParameterError("need at least one stage")
+    if not 0.0 <= activity <= 1.0:
+        raise ParameterError("activity factor must be in [0, 1]")
+    if k_d <= 0.0:
+        raise ParameterError("k_d must be positive")
+    vdd = np.asarray(vdd_grid, dtype=float)
+    if np.any(vdd <= 0.0):
+        raise ParameterError("vdd must be positive")
+    nfet, pfet = inverter.nfet, inverter.pfet
+    c_in = (nfet.capacitance.c_gate_effective(
+                vdd, nfet.iv.vth(vdd), nfet.slope_factor)
+            + pfet.capacitance.c_gate_effective(
+                vdd, pfet.iv.vth(vdd), pfet.slope_factor))
+    c_out = nfet.capacitance.c_drain() + pfet.capacitance.c_drain()
+    c_load = 1 * c_in + c_out
+    i_on = 0.5 * (nfet.ids(vdd, vdd) + pfet.ids(vdd, vdd))
+    t_p = k_d * c_load * vdd / i_on
+    i_leak = 0.5 * (nfet.ids(np.zeros_like(vdd), vdd)
+                    + pfet.ids(np.zeros_like(vdd), vdd))
+    cycle = n_stages * t_p
+    dynamic = n_stages * activity * c_load * vdd ** 2
+    leakage = n_stages * i_leak * vdd * cycle
+    perf.bump("circuit.energy_sweep_points", int(vdd.size))
+    return dynamic + leakage
+
+
 @dataclass(frozen=True)
 class VminResult:
     """Minimum-energy operating point of an inverter chain.
@@ -115,15 +155,21 @@ class VminResult:
 def find_vmin(inverter: Inverter, n_stages: int = 30, activity: float = 0.1,
               vdd_lo: float = 0.08, vdd_hi: float = 0.70,
               n_grid: int = 33, transient: bool = False,
-              k_d: float = K_D_DEFAULT) -> VminResult:
+              k_d: float = K_D_DEFAULT, solver: str = "batch") -> VminResult:
     """Locate the minimum-energy supply voltage V_min.
 
     A coarse geometric grid brackets the minimum, then bounded scalar
     minimisation refines it.  Raises :class:`ParameterError` when the
     minimum sits on the sweep boundary (no interior V_min in range).
+
+    With ``solver="batch"`` (default) the bracketing grid is one
+    :func:`chain_energy_sweep` array evaluation; ``solver="sequential"``
+    (or a transient delay model, which has no vectorised form) sweeps
+    the grid point by point.
     """
     if not 0.0 < vdd_lo < vdd_hi:
         raise ParameterError("need 0 < vdd_lo < vdd_hi")
+    validate_solver(solver)
 
     def total(vdd: float) -> float:
         return chain_energy_per_cycle(
@@ -132,7 +178,11 @@ def find_vmin(inverter: Inverter, n_stages: int = 30, activity: float = 0.1,
         ).total_j
 
     grid = np.geomspace(vdd_lo, vdd_hi, n_grid)
-    energies = np.array([total(float(v)) for v in grid])
+    if solver == "batch" and not transient:
+        energies = chain_energy_sweep(inverter, grid, n_stages, activity,
+                                      k_d=k_d)
+    else:
+        energies = np.array([total(float(v)) for v in grid])
     idx = int(np.argmin(energies))
     if idx == 0 or idx == n_grid - 1:
         raise ParameterError(

@@ -2,9 +2,11 @@
 
 The VTC is obtained exactly as the paper's Eq. 3(a) prescribes — by
 equating the NFET and PFET drain currents at the output node — except
-numerically (Brent's method per input point) and with the full
-weak-to-strong-inversion model, so the same code serves both the
-sub-V_th (250 mV) and nominal-V_dd analyses.
+numerically and with the full weak-to-strong-inversion model, so the
+same code serves both the sub-V_th (250 mV) and nominal-V_dd analyses.
+Whole input grids default to the vectorised bisection kernel of
+:mod:`repro.circuit.batch`; the per-point Brent solve remains as the
+scalar oracle (``solver="sequential"``).
 """
 
 from __future__ import annotations
@@ -14,8 +16,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import brentq
 
+from .. import perf
 from ..device.mosfet import MOSFET, Polarity
 from ..errors import ParameterError
+from .batch import solve_vtc_batch, validate_solver
 
 
 @dataclass(frozen=True)
@@ -78,6 +82,7 @@ class Inverter:
             return (self.pulldown_current(vin, vout)
                     - self.pullup_current(vin, vout))
 
+        perf.bump("circuit.vtc_scalar_solves")
         lo, hi = 0.0, self.vdd
         f_lo, f_hi = balance(lo), balance(hi)
         if f_lo >= 0.0:
@@ -86,22 +91,33 @@ class Inverter:
             return hi
         return float(brentq(balance, lo, hi, xtol=xtol))
 
-    def vtc(self, n_points: int = 121) -> tuple[np.ndarray, np.ndarray]:
-        """Full VTC on a uniform input grid: ``(vin, vout)`` arrays."""
+    def vtc(self, n_points: int = 121, solver: str = "batch",
+            xtol: float = 1e-9) -> tuple[np.ndarray, np.ndarray]:
+        """Full VTC on a uniform input grid: ``(vin, vout)`` arrays.
+
+        ``solver="batch"`` (default) solves every input point in one
+        vectorised bisection; ``solver="sequential"`` keeps the scalar
+        per-point Brent solve as the correctness oracle.
+        """
         if n_points < 5:
             raise ParameterError("need at least 5 VTC points")
+        validate_solver(solver)
         vins = np.linspace(0.0, self.vdd, n_points)
-        vouts = np.array([self.vtc_point(float(v)) for v in vins])
+        if solver == "batch":
+            return vins, solve_vtc_batch(self, vins, xtol=xtol)
+        vouts = np.array([self.vtc_point(float(v), xtol=xtol) for v in vins])
         return vins, vouts
 
-    def gain(self, vin: float, h: float | None = None) -> float:
+    def gain(self, vin: float, h: float | None = None,
+             xtol: float = 1e-9) -> float:
         """Small-signal voltage gain dV_out/dV_in at ``vin`` (negative)."""
         step = (self.vdd * 1e-4) if h is None else h
         lo = max(vin - step, 0.0)
         hi = min(vin + step, self.vdd)
         if hi <= lo:
             raise ParameterError("gain stencil collapsed; vin at a corner?")
-        return (self.vtc_point(hi) - self.vtc_point(lo)) / (hi - lo)
+        return (self.vtc_point(hi, xtol=xtol)
+                - self.vtc_point(lo, xtol=xtol)) / (hi - lo)
 
     def switching_threshold(self, xtol: float = 1e-9) -> float:
         """Input voltage where ``V_out = V_in`` (the inverter trip point)."""

@@ -8,6 +8,10 @@ Two definitions are provided:
   SNM = min of the two).
 * :func:`butterfly_snm` — the classic largest-embedded-square SNM of a
   cross-coupled pair (used for the SRAM extension, ref [16]).
+
+Both default to the vectorised kernels of :mod:`repro.circuit.batch`
+(``solver="batch"``); the original scalar implementations remain the
+correctness oracles behind ``solver="sequential"``.
 """
 
 from __future__ import annotations
@@ -17,7 +21,14 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import brentq
 
+from .. import perf
 from ..errors import ParameterError
+from .batch import (
+    LOST_REGENERATION_MESSAGES,
+    XTOL_DEFAULT,
+    noise_margins_batch,
+    validate_solver,
+)
 from .inverter import Inverter
 
 
@@ -49,8 +60,8 @@ class NoiseMargins:
         return min(self.nm_low, self.nm_high)
 
 
-def _unity_gain_points(inverter: Inverter, n_scan: int = 101
-                       ) -> tuple[float, float]:
+def _unity_gain_points(inverter: Inverter, n_scan: int = 101,
+                       xtol: float = XTOL_DEFAULT) -> tuple[float, float]:
     """Locate the two gain = -1 inputs by scan + bisection refinement.
 
     The scan and the refinement use the *same* finite-difference gain
@@ -61,33 +72,53 @@ def _unity_gain_points(inverter: Inverter, n_scan: int = 101
     vins = np.linspace(margin, vdd - margin, n_scan)
 
     def gain_plus_one(vin: float) -> float:
-        return inverter.gain(float(vin)) + 1.0
+        return inverter.gain(float(vin), xtol=xtol) + 1.0
 
     values = np.array([gain_plus_one(v) for v in vins])
     below = values < 0.0
     if not below.any():
-        raise ParameterError(
-            "VTC never reaches gain -1; supply too low for regeneration"
-        )
+        raise ParameterError(LOST_REGENERATION_MESSAGES[0])
     first = int(np.argmax(below))
     last = int(len(below) - 1 - np.argmax(below[::-1]))
     if first == 0 or last == len(vins) - 1:
-        raise ParameterError("gain = -1 crossing hits the sweep boundary")
-    v_il = float(brentq(gain_plus_one, vins[first - 1], vins[first]))
-    v_ih = float(brentq(gain_plus_one, vins[last], vins[last + 1]))
+        raise ParameterError(LOST_REGENERATION_MESSAGES[1])
+    v_il = float(brentq(gain_plus_one, vins[first - 1], vins[first],
+                        xtol=xtol))
+    v_ih = float(brentq(gain_plus_one, vins[last], vins[last + 1],
+                        xtol=xtol))
     return v_il, v_ih
 
 
-def noise_margins(inverter: Inverter) -> NoiseMargins:
+def noise_margins(inverter: Inverter, solver: str = "batch",
+                  n_scan: int = 101,
+                  xtol: float = XTOL_DEFAULT) -> NoiseMargins:
     """Gain = -1 noise margins of a CMOS inverter (paper Fig. 4/10).
 
     Raises :class:`ParameterError` when the inverter has no gain = -1
     points (supply so low the VTC degenerates), which is itself a
-    meaningful "no noise margin left" result for callers to handle.
+    meaningful "no noise margin left" result for callers to handle
+    (the exact messages are
+    :data:`repro.circuit.batch.LOST_REGENERATION_MESSAGES`).
+
+    ``solver="batch"`` (default) extracts the margins through the
+    vectorised VTC kernel; ``solver="sequential"`` runs the original
+    per-point scan, kept as the correctness oracle.
     """
-    v_il, v_ih = _unity_gain_points(inverter)
-    v_oh = inverter.vtc_point(v_il)
-    v_ol = inverter.vtc_point(v_ih)
+    validate_solver(solver)
+    if solver == "batch":
+        batch = noise_margins_batch(inverter, 0.0, 0.0, n_scan=n_scan,
+                                    xtol=xtol)
+        code = int(batch.lost_code[0])
+        if code:
+            raise ParameterError(LOST_REGENERATION_MESSAGES[code - 1])
+        return NoiseMargins(
+            v_il=float(batch.v_il[0]), v_ih=float(batch.v_ih[0]),
+            v_ol=float(batch.v_ol[0]), v_oh=float(batch.v_oh[0]),
+            nm_low=float(batch.nm_low[0]), nm_high=float(batch.nm_high[0]),
+        )
+    v_il, v_ih = _unity_gain_points(inverter, n_scan=n_scan, xtol=xtol)
+    v_oh = inverter.vtc_point(v_il, xtol=xtol)
+    v_ol = inverter.vtc_point(v_ih, xtol=xtol)
     return NoiseMargins(
         v_il=v_il, v_ih=v_ih, v_ol=v_ol, v_oh=v_oh,
         nm_low=v_il - v_ol, nm_high=v_oh - v_ih,
@@ -99,7 +130,8 @@ def _decreasing_interpolator(x: np.ndarray, y: np.ndarray, side: str):
 
     A mirrored VTC is multivalued where the original is rail-flat, so
     duplicate x samples are aggregated: the *upper* boundary of a lobe
-    keeps the max y at each x, the *lower* boundary the min.
+    keeps the max y at each x, the *lower* boundary the min.  The
+    returned callable accepts scalars or arrays.
     """
     order = np.argsort(x)
     xs, ys = x[order], y[order]
@@ -110,32 +142,16 @@ def _decreasing_interpolator(x: np.ndarray, y: np.ndarray, side: str):
     else:
         np.minimum.at(agg, inverse, ys)
 
-    def evaluate(q: float) -> float:
-        return float(np.interp(q, unique_x, agg))
+    def evaluate(q):
+        out = np.interp(q, unique_x, agg)
+        return float(out) if np.isscalar(q) else out
 
     return evaluate
 
 
-def _lobe_square(f_curve: tuple[np.ndarray, np.ndarray],
-                 g_curve: tuple[np.ndarray, np.ndarray]) -> float:
-    """Largest square between decreasing curve ``f`` (above) and ``g`` (below).
-
-    For an axis-aligned square of side ``s`` with lower-left corner
-    ``(x, y)`` lying in the region ``g <= y <= f``, feasibility reduces
-    to ``s <= f(x + s) - g(x)`` (both curves are decreasing, so the
-    binding corners are upper-right against ``f`` and lower-left against
-    ``g``).  For each ``x`` the right-hand side is decreasing in ``s``,
-    so the maximal side solves a 1-D fixed point; we take the max over
-    a grid of ``x``.
-    """
-    f = _decreasing_interpolator(*f_curve, side="upper")
-    g = _decreasing_interpolator(*g_curve, side="lower")
-    x_lo = float(min(f_curve[0].min(), g_curve[0].min()))
-    x_hi = float(max(f_curve[0].max(), g_curve[0].max()))
-    span = x_hi - x_lo
+def _lobe_square_sequential(f, g, x_lo: float, x_hi: float) -> float:
+    """Scalar oracle: per-x fixed-point loop with running-best pruning."""
     best = 0.0
-    if span <= 0.0:
-        return 0.0
     for x in np.linspace(x_lo, x_hi, 256):
         x = float(x)
         gap0 = f(x) - g(x)
@@ -152,9 +168,59 @@ def _lobe_square(f_curve: tuple[np.ndarray, np.ndarray],
     return best
 
 
+def _lobe_square_batch(f, g, x_lo: float, x_hi: float) -> float:
+    """All 256 corner abscissae iterate their fixed point as one array.
+
+    The pruning of the scalar path only skips abscissae that cannot
+    beat the running best, so the unpruned vectorised maximum is
+    identical; each surviving point runs the same 40 bisection
+    iterations on the same interpolants.
+    """
+    xs = np.linspace(x_lo, x_hi, 256)
+    g0 = g(xs)
+    gap0 = f(xs) - g0
+    valid = gap0 > 0.0
+    if not valid.any():
+        return 0.0
+    xs, g0, gap0 = xs[valid], g0[valid], gap0[valid]
+    lo = np.zeros_like(xs)
+    hi = np.minimum(gap0, x_hi - xs)
+    perf.bump("circuit.butterfly_batch_solves")
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        feasible = mid <= f(xs + mid) - g0
+        lo = np.where(feasible, mid, lo)
+        hi = np.where(feasible, hi, mid)
+    return float(lo.max())
+
+
+def _lobe_square(f_curve: tuple[np.ndarray, np.ndarray],
+                 g_curve: tuple[np.ndarray, np.ndarray],
+                 solver: str = "batch") -> float:
+    """Largest square between decreasing curve ``f`` (above) and ``g`` (below).
+
+    For an axis-aligned square of side ``s`` with lower-left corner
+    ``(x, y)`` lying in the region ``g <= y <= f``, feasibility reduces
+    to ``s <= f(x + s) - g(x)`` (both curves are decreasing, so the
+    binding corners are upper-right against ``f`` and lower-left against
+    ``g``).  For each ``x`` the right-hand side is decreasing in ``s``,
+    so the maximal side solves a 1-D fixed point; we take the max over
+    a grid of ``x``.
+    """
+    f = _decreasing_interpolator(*f_curve, side="upper")
+    g = _decreasing_interpolator(*g_curve, side="lower")
+    x_lo = float(min(f_curve[0].min(), g_curve[0].min()))
+    x_hi = float(max(f_curve[0].max(), g_curve[0].max()))
+    if x_hi - x_lo <= 0.0:
+        return 0.0
+    if solver == "batch":
+        return _lobe_square_batch(f, g, x_lo, x_hi)
+    return _lobe_square_sequential(f, g, x_lo, x_hi)
+
+
 def butterfly_snm(forward: tuple[np.ndarray, np.ndarray],
-                  backward: tuple[np.ndarray, np.ndarray] | None = None
-                  ) -> float:
+                  backward: tuple[np.ndarray, np.ndarray] | None = None,
+                  solver: str = "batch") -> float:
     """Largest-square (Seevinck) SNM of a cross-coupled pair [V].
 
     Parameters
@@ -166,11 +232,15 @@ def butterfly_snm(forward: tuple[np.ndarray, np.ndarray],
         VTC of the second inverter; defaults to the first (symmetric
         cell).  The second characteristic is mirrored across the
         ``V_out = V_in`` diagonal to form the butterfly.
+    solver:
+        ``"batch"`` (default) iterates all candidate squares as one
+        array; ``"sequential"`` keeps the scalar per-abscissa loop.
 
     The butterfly's two lobes are bounded above by one VTC and below by
     the mirror of the other; the SNM is the side of the largest square
     that fits in the smaller lobe.
     """
+    validate_solver(solver)
     vin_f, vout_f = (np.asarray(a, dtype=float) for a in forward)
     if backward is None:
         vin_b, vout_b = vin_f.copy(), vout_f.copy()
@@ -181,7 +251,7 @@ def butterfly_snm(forward: tuple[np.ndarray, np.ndarray],
 
     # Upper-left lobe: below curve A (y = f(x)), above mirrored curve B
     # (y = f_b^{-1}(x), i.e. the swapped-axis samples).
-    upper = _lobe_square((vin_f, vout_f), (vout_b, vin_b))
+    upper = _lobe_square((vin_f, vout_f), (vout_b, vin_b), solver)
     # Lower-right lobe: mirror the construction.
-    lower = _lobe_square((vin_b, vout_b), (vout_f, vin_f))
+    lower = _lobe_square((vin_b, vout_b), (vout_f, vin_f), solver)
     return max(min(upper, lower), 0.0)

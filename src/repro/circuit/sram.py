@@ -18,6 +18,7 @@ from scipy.optimize import brentq
 
 from ..device.mosfet import MOSFET, Polarity
 from ..errors import ParameterError
+from .batch import solve_balance_batch, validate_solver
 from .inverter import Inverter
 from .snm import butterfly_snm
 
@@ -57,7 +58,7 @@ class SramCell:
 
     # -- read-disturbed transfer -----------------------------------------------
 
-    def read_vtc_point(self, vin: float) -> float:
+    def read_vtc_point(self, vin: float, xtol: float = 1e-9) -> float:
         """Storage-node voltage during a read access, for one input [V].
 
         During a read the wordline and both bitlines sit at V_dd; the
@@ -86,25 +87,55 @@ class SramCell:
             return lo
         if balance(hi) <= 0.0:
             return hi
-        return float(brentq(balance, lo, hi, xtol=1e-9))
+        return float(brentq(balance, lo, hi, xtol=xtol))
 
-    def read_vtc(self, n_points: int = 121) -> tuple[np.ndarray, np.ndarray]:
-        """Read-disturbed VTC samples ``(vin, vout)``."""
+    def read_vtc(self, n_points: int = 121, solver: str = "batch",
+                 xtol: float = 1e-9) -> tuple[np.ndarray, np.ndarray]:
+        """Read-disturbed VTC samples ``(vin, vout)``.
+
+        ``solver="batch"`` (default) solves the three-device current
+        balance for the whole input grid in one masked vectorised
+        bisection; ``solver="sequential"`` keeps the per-point Brent
+        solve as the correctness oracle.
+        """
+        validate_solver(solver)
         vins = np.linspace(0.0, self.vdd, n_points)
-        vouts = np.array([self.read_vtc_point(float(v)) for v in vins])
+        if solver == "sequential":
+            vouts = np.array([self.read_vtc_point(float(v), xtol=xtol)
+                              for v in vins])
+            return vins, vouts
+        vdd = self.vdd
+
+        def balance(vout: np.ndarray) -> np.ndarray:
+            v_pu = np.maximum(vdd - vout, 0.0)
+            i_pd = self.pulldown.ids(vins, np.maximum(vout, 0.0))
+            i_pu = self.pullup.ids(vdd - vins, v_pu)
+            i_ax = self.access.ids(v_pu, v_pu)
+            return i_pd - i_pu - i_ax
+
+        lo = np.zeros_like(vins)
+        hi = np.full_like(vins, vdd)
+        f_lo, f_hi = balance(lo), balance(hi)
+        at_lo = f_lo >= 0.0
+        at_hi = (f_hi <= 0.0) & ~at_lo
+        lo = np.where(at_hi, vdd, 0.0)
+        hi = np.where(at_lo, 0.0, vdd)
+        vouts = solve_balance_batch(balance, lo, hi, xtol=xtol)
         return vins, vouts
 
 
-def hold_snm(cell: SramCell, n_points: int = 161) -> float:
+def hold_snm(cell: SramCell, n_points: int = 161,
+             solver: str = "batch") -> float:
     """Hold (standby) butterfly SNM of the cell [V]."""
-    vtc = cell.inverter().vtc(n_points)
-    return butterfly_snm(vtc)
+    vtc = cell.inverter().vtc(n_points, solver=solver)
+    return butterfly_snm(vtc, solver=solver)
 
 
-def read_snm(cell: SramCell, n_points: int = 161) -> float:
+def read_snm(cell: SramCell, n_points: int = 161,
+             solver: str = "batch") -> float:
     """Read butterfly SNM of the cell [V] (always <= hold SNM)."""
-    vtc = cell.read_vtc(n_points)
-    return butterfly_snm(vtc)
+    vtc = cell.read_vtc(n_points, solver=solver)
+    return butterfly_snm(vtc, solver=solver)
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..constants import EPS_OX, EPS_SI, Q, T_ROOM
 from ..errors import ParameterError
 from ..materials.oxide import GateStack
@@ -92,22 +94,25 @@ class CapacitanceModel:
         return (self.c_gate_intrinsic * series + self.c_overlap
                 + self.c_fringe)
 
-    def c_gate_effective(self, vdd: float, vth: float, slope_factor: float
-                         ) -> float:
+    def c_gate_effective(self, vdd, vth, slope_factor: float):
         """Bias-aware gate capacitance, blending weak and strong limits [F].
 
         A logistic blend in ``(V_dd - V_th)`` with a few-thermal-voltage
         transition width; deep subthreshold recovers
         :meth:`c_gate_weak`, nominal supply recovers :attr:`c_gate`.
+        Accepts scalar or array ``vdd``/``vth`` (the batched energy
+        sweep evaluates a whole supply grid at once).
         """
-        if vdd <= 0.0:
+        vdd_arr = np.asarray(vdd, dtype=float)
+        if np.any(vdd_arr <= 0.0):
             raise ParameterError("vdd must be positive")
         vt = 0.02585 * (self.temperature_k / 300.0)
         width = 3.0 * slope_factor * vt
-        x = (vdd - vth) / width
-        weight = 1.0 / (1.0 + math.exp(-max(min(x, 60.0), -60.0)))
+        x = (vdd_arr - np.asarray(vth, dtype=float)) / width
+        weight = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
         weak = self.c_gate_weak(slope_factor)
-        return weak + weight * (self.c_gate - weak)
+        out = weak + weight * (self.c_gate - weak)
+        return float(out) if np.isscalar(vdd) else out
 
     def c_junction(self, bias_v: float = 0.0) -> float:
         """Drain-junction depletion capacitance at the given reverse bias [F].

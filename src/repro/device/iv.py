@@ -156,20 +156,27 @@ class IVModel:
         """Eq. 1 prefactor equivalent: the current at V_gs = V_th [A]."""
         return float(self.i_spec(self._vth0)) * np.log(2.0) ** 2
 
-    def ids(self, vgs, vds):
+    def ids(self, vgs, vds, vth_shift_v=0.0):
         """Drain current [A] for NFET-referenced terminal voltages.
 
         Accepts scalars or broadcastable arrays.  ``vds`` must be >= 0
         (the model is source-referenced; the MOSFET facade handles the
         swap for reverse operation).
+
+        ``vth_shift_v`` is an additive V_th perturbation applied per
+        evaluation point; an array here is equivalent to evaluating a
+        :meth:`vth`-offset copy of the device at each element (the
+        offset enters only through V_th, never ``i_spec``), which is
+        what lets Monte-Carlo trials share one device object.
         """
         vgs_arr = np.asarray(vgs, dtype=float)
         vds_arr = np.asarray(vds, dtype=float)
+        shift_arr = np.asarray(vth_shift_v, dtype=float)
         if np.any(vds_arr < -1e-12):
             raise ParameterError("ids() requires vds >= 0; swap terminals")
         vds_arr = np.maximum(vds_arr, 0.0)
         vt = thermal_voltage(self.temperature_k)
-        vth = self.vth(vds_arr)
+        vth = self.vth(vds_arr) + shift_arr
         vp = (vgs_arr - vth) / self._m
         i_f = _ekv_f(vp / vt)
         i_r = _ekv_f((vp - vds_arr) / vt)
@@ -184,7 +191,7 @@ class IVModel:
         vsat_term = (mu_over * v_dsat) / (self.mobility.vsat()
                                           * self.geometry.l_eff_cm)
         current = current / (1.0 + severity * vsat_term)
-        if np.isscalar(vgs) and np.isscalar(vds):
+        if np.isscalar(vgs) and np.isscalar(vds) and shift_arr.ndim == 0:
             return float(current)
         return current
 

@@ -151,13 +151,15 @@ class MOSFET:
         self._metrics[key] = value
         return value
 
-    def ids(self, vgs, vds):
+    def ids(self, vgs, vds, vth_shift_v=0.0):
         """Drain current [A] for source-referenced voltage magnitudes.
 
         For a PFET pass ``vgs = V_sg`` and ``vds = V_sd`` (both
-        positive in normal operation).
+        positive in normal operation).  ``vth_shift_v`` perturbs V_th
+        per evaluation point (array-native Monte Carlo; see
+        :meth:`IVModel.ids`).
         """
-        return self._iv.ids(vgs, vds)
+        return self._iv.ids(vgs, vds, vth_shift_v)
 
     def i_off(self, vdd: float) -> float:
         """Leakage at V_gs = 0, V_ds = V_dd [A]."""

@@ -21,6 +21,20 @@ Counter names in use
     In-process device-construction memo.
 ``cache.family.hits`` / ``cache.family.misses``
     On-disk optimised-family cache.
+``circuit.vtc_batch_solves`` / ``circuit.vtc_batch_points``
+    Batched VTC kernel invocations and the total points they solved.
+``circuit.balance_bisection_sweeps``
+    Whole-array bisection sweeps inside the batched balance solver.
+``circuit.vtc_scalar_solves``
+    Per-point (sequential-oracle) VTC solves.
+``circuit.snm_batch_extractions``
+    Noise-margin extractions performed through the batched kernel.
+``circuit.delay_batch_points``
+    Monte Carlo delay evaluations done as array elements.
+``circuit.energy_sweep_points``
+    V_dd grid points evaluated by the vectorised energy sweep.
+``circuit.butterfly_batch_solves``
+    Vectorised largest-square butterfly-SNM solves.
 """
 
 from __future__ import annotations

@@ -6,6 +6,12 @@ evaluates delay or SNM.  Deep in subthreshold the drive current is
 exponential in V_th, so delay distributions become log-normal-like
 with large spreads — the variability pressure the paper's introduction
 describes.
+
+Both distributions default to the array-native kernels of
+:mod:`repro.circuit.batch` (``solver="batch"``): the full trial
+population is evaluated as one batched solve, with no per-trial
+``Inverter`` reconstruction.  ``solver="sequential"`` keeps the
+original trial-loop implementations as correctness oracles.
 """
 
 from __future__ import annotations
@@ -14,7 +20,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..circuit.delay import analytic_delay
+from ..circuit.batch import (
+    LOST_REGENERATION_MESSAGES,
+    noise_margins_batch,
+    validate_solver,
+)
+from ..circuit.delay import analytic_delay, analytic_delay_batch
 from ..circuit.inverter import Inverter
 from ..circuit.snm import noise_margins
 from ..errors import ParameterError
@@ -63,14 +74,24 @@ class MonteCarloResult:
 
 def sample_vth_offsets(inverter: Inverter, n_trials: int,
                        seed: int = 2007) -> tuple[np.ndarray, np.ndarray]:
-    """Draw (NFET, PFET) V_th offset pairs for ``n_trials`` trials."""
+    """Draw (NFET, PFET) V_th offset pairs for ``n_trials`` trials.
+
+    The NFET and PFET draws come from two *spawned* child streams of
+    the seed, so the PFET population is stable when ``n_trials``
+    changes (with a single shared stream, growing the NFET draw would
+    shift every PFET sample).  Compatibility note: the split changes
+    the values drawn for any given seed relative to the earlier
+    single-stream implementation.
+    """
     if n_trials < 1:
         raise ParameterError("need at least one trial")
-    rng = np.random.default_rng(seed)
+    seq_n, seq_p = np.random.SeedSequence(seed).spawn(2)
+    rng_n = np.random.default_rng(seq_n)
+    rng_p = np.random.default_rng(seq_p)
     sigma_n = rdf_sigma_vth(inverter.nfet)
     sigma_p = rdf_sigma_vth(inverter.pfet)
-    return (rng.normal(0.0, sigma_n, n_trials),
-            rng.normal(0.0, sigma_p, n_trials))
+    return (rng_n.normal(0.0, sigma_n, n_trials),
+            rng_p.normal(0.0, sigma_p, n_trials))
 
 
 def _perturbed(inverter: Inverter, dn: float, dp: float) -> Inverter:
@@ -82,10 +103,15 @@ def _perturbed(inverter: Inverter, dn: float, dp: float) -> Inverter:
 
 
 def delay_distribution(inverter: Inverter, n_trials: int = 200,
-                       seed: int = 2007) -> MonteCarloResult:
+                       seed: int = 2007,
+                       solver: str = "batch") -> MonteCarloResult:
     """FO1 analytic-delay distribution under RDF [s]."""
+    validate_solver(solver)
     offs_n, offs_p = sample_vth_offsets(inverter, n_trials, seed)
     c_load = inverter.load_capacitance(fanout=1)
+    if solver == "batch":
+        samples = analytic_delay_batch(inverter, offs_n, offs_p, c_load)
+        return MonteCarloResult.from_samples(samples)
     samples = np.empty(n_trials)
     for i, (dn, dp) in enumerate(zip(offs_n, offs_p)):
         samples[i] = analytic_delay(_perturbed(inverter, dn, dp), c_load)
@@ -93,17 +119,31 @@ def delay_distribution(inverter: Inverter, n_trials: int = 200,
 
 
 def snm_distribution(inverter: Inverter, n_trials: int = 100,
-                     seed: int = 2007) -> MonteCarloResult:
+                     seed: int = 2007,
+                     solver: str = "batch") -> MonteCarloResult:
     """Inverter SNM distribution under RDF [V].
 
     Trials where the perturbed inverter loses regeneration (no
-    gain = -1 points) are recorded as zero noise margin.
+    gain = -1 points, or the crossings hit the sweep boundary — the
+    two messages of
+    :data:`repro.circuit.batch.LOST_REGENERATION_MESSAGES`) are
+    recorded as zero noise margin; any other :class:`ParameterError`
+    is a genuine defect and propagates.
     """
+    validate_solver(solver)
     offs_n, offs_p = sample_vth_offsets(inverter, n_trials, seed)
+    if solver == "batch":
+        nm = noise_margins_batch(inverter, offs_n, offs_p)
+        samples = np.where(nm.lost, 0.0, nm.snm)
+        return MonteCarloResult.from_samples(samples)
     samples = np.empty(n_trials)
     for i, (dn, dp) in enumerate(zip(offs_n, offs_p)):
         try:
-            samples[i] = noise_margins(_perturbed(inverter, dn, dp)).snm
-        except ParameterError:
-            samples[i] = 0.0
+            samples[i] = noise_margins(
+                _perturbed(inverter, dn, dp), solver="sequential").snm
+        except ParameterError as err:
+            if str(err) in LOST_REGENERATION_MESSAGES:
+                samples[i] = 0.0
+            else:
+                raise
     return MonteCarloResult.from_samples(samples)

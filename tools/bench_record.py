@@ -1,16 +1,28 @@
-"""Record the kernel benchmark suite into ``BENCH_kernels.json``.
+"""Record the benchmark suites into ``BENCH_*.json`` summaries.
 
-Runs the hot-kernel benches (``benchmarks/test_bench_kernels.py`` plus
-the raw super-V_th optimiser bench) under pytest-benchmark and distils
-the machine-readable results into a small summary at the repository
-root.  Committing the summary after perf-relevant PRs builds up the
-performance trajectory of the project; CI runs the same script to make
-sure the suite keeps executing.
+Runs a bench suite under pytest-benchmark and distils the
+machine-readable results into a small summary at the repository root.
+Two suites exist:
+
+* ``kernels`` — the hot device/TCAD kernels
+  (``benchmarks/test_bench_kernels.py`` plus the raw super-V_th
+  optimiser bench) -> ``BENCH_kernels.json``;
+* ``circuits`` — the vectorised circuit-evaluation layer
+  (``benchmarks/test_bench_circuits.py``: batched VTC/SNM, array-native
+  Monte Carlo, and their sequential oracles) -> ``BENCH_circuits.json``.
+
+Committing the summary after perf-relevant PRs builds up the
+performance trajectory of the project; CI runs the same script with
+``--compare`` to fail on >2x mean regressions against the committed
+summary.  Set ``REPRO_BENCH_QUICK=1`` to skip the slow sequential-oracle
+benches (the CI quick mode).
 
 Usage (from the repository root)::
 
-    python tools/bench_record.py            # writes BENCH_kernels.json
-    python tools/bench_record.py --check    # run benches, don't write
+    python tools/bench_record.py                      # BENCH_kernels.json
+    python tools/bench_record.py --suite circuits     # BENCH_circuits.json
+    python tools/bench_record.py --check              # run, don't write
+    python tools/bench_record.py --suite circuits --compare
 """
 
 from __future__ import annotations
@@ -26,23 +38,34 @@ import sys
 import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 
-#: Bench selection: every kernel bench plus the uncached optimiser flow.
-BENCH_TARGETS = (
-    "benchmarks/test_bench_kernels.py",
-    "benchmarks/test_bench_table2.py::test_bench_supervth_optimizer",
-)
+#: Per-suite bench selection and summary file.
+SUITES = {
+    "kernels": {
+        "targets": (
+            "benchmarks/test_bench_kernels.py",
+            "benchmarks/test_bench_table2.py::test_bench_supervth_optimizer",
+        ),
+        "output": "BENCH_kernels.json",
+    },
+    "circuits": {
+        "targets": ("benchmarks/test_bench_circuits.py",),
+        "output": "BENCH_circuits.json",
+    },
+}
+
+#: --compare fails when a bench's fresh mean exceeds committed mean * this.
+REGRESSION_FACTOR = 2.0
 
 
-def run_benches(json_path: pathlib.Path) -> None:
+def run_benches(json_path: pathlib.Path, targets: tuple[str, ...]) -> None:
     """Run the bench selection, writing pytest-benchmark JSON."""
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
     cmd = [
-        sys.executable, "-m", "pytest", *BENCH_TARGETS,
+        sys.executable, "-m", "pytest", *targets,
         "-q", "--benchmark-only", f"--benchmark-json={json_path}",
     ]
     subprocess.run(cmd, cwd=REPO_ROOT, check=True, env=env)
@@ -73,29 +96,73 @@ def summarise(raw: dict) -> dict:
     }
 
 
+def compare(summary: dict, committed_path: pathlib.Path) -> int:
+    """Fail (non-zero) on >2x mean regressions vs the committed summary.
+
+    Only benches present in both summaries are compared, so quick-mode
+    runs (which skip the slow sequential oracles) and newly added
+    benches don't trip the gate.
+    """
+    if not committed_path.exists():
+        print(f"compare: no committed {committed_path.name}; skipping "
+              "regression gate")
+        return 0
+    committed = json.loads(committed_path.read_text())["benchmarks"]
+    regressions = []
+    compared = 0
+    for name, stats in summary["benchmarks"].items():
+        base = committed.get(name)
+        if base is None:
+            continue
+        compared += 1
+        if stats["mean_s"] > REGRESSION_FACTOR * base["mean_s"]:
+            regressions.append(
+                f"  {name}: {1e3 * stats['mean_s']:.1f} ms vs committed "
+                f"{1e3 * base['mean_s']:.1f} ms "
+                f"(> {REGRESSION_FACTOR:g}x)")
+    if regressions:
+        print(f"compare: {len(regressions)} regression(s) vs "
+              f"{committed_path.name}:", file=sys.stderr)
+        print("\n".join(regressions), file=sys.stderr)
+        return 1
+    print(f"compare: {compared} benches within {REGRESSION_FACTOR:g}x of "
+          f"{committed_path.name}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="run the kernel benches and record BENCH_kernels.json")
+        description="run a bench suite and record its BENCH_*.json summary")
+    parser.add_argument("--suite", choices=sorted(SUITES),
+                        default="kernels",
+                        help="bench suite to run (default: kernels)")
     parser.add_argument("--check", action="store_true",
                         help="run the benches without writing the summary")
+    parser.add_argument("--compare", action="store_true",
+                        help="fail on >2x mean regression vs the committed "
+                             "summary (implies --check)")
     args = parser.parse_args(argv)
+    suite = SUITES[args.suite]
+    output = REPO_ROOT / suite["output"]
 
     with tempfile.TemporaryDirectory() as tmp:
         json_path = pathlib.Path(tmp) / "bench.json"
-        run_benches(json_path)
+        run_benches(json_path, suite["targets"])
         summary = summarise(json.loads(json_path.read_text()))
 
     if not summary["benchmarks"]:
         print("error: no benchmarks were collected", file=sys.stderr)
         return 1
+    if args.compare:
+        return compare(summary, output)
     if args.check:
         print(f"ok: {len(summary['benchmarks'])} benches ran "
               "(summary not written)")
         return 0
-    OUTPUT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     slowest = max(summary["benchmarks"].items(),
                   key=lambda kv: kv[1]["mean_s"])
-    print(f"wrote {OUTPUT.name}: {len(summary['benchmarks'])} benches, "
+    print(f"wrote {output.name}: {len(summary['benchmarks'])} benches, "
           f"slowest {slowest[0]} at {1e3 * slowest[1]['mean_s']:.1f} ms")
     return 0
 
