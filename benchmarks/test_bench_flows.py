@@ -1,0 +1,85 @@
+"""Benches: the batched design-space engine (scaling flows).
+
+Each optimiser flow is timed cold — the device-construction memo and
+the warm-start bracket cache are cleared before every round — and
+paired with its sequential (scalar-oracle) counterpart so
+``BENCH_flows.json`` records the before/after of the vectorisation.
+The sequential sub-V_th sweeps are the slow half; set
+``REPRO_BENCH_QUICK=1`` (the CI quick mode) to skip them.
+"""
+
+import os
+
+import pytest
+
+from repro.cache import device_memo
+from repro.scaling.batch import bracket_memo
+from repro.scaling.multivth import derive_flavours
+from repro.scaling.roadmap import node_by_name
+from repro.scaling.sensitivity import headline_under_calibration
+from repro.scaling.subvth import build_sub_vth_family
+from repro.scaling.supervth import build_super_vth_family
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+slow = pytest.mark.skipif(
+    QUICK, reason="sequential oracle skipped in quick mode")
+
+
+def _cold():
+    """Clear the caches a prior round (or fixture) may have warmed."""
+    device_memo.clear()
+    bracket_memo.clear()
+
+
+def run_cold(benchmark, func, *args, **kwargs):
+    """One cold-cache round per bench (flows are deterministic)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, setup=_cold,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_bench_super_family_batch(benchmark):
+    family = run_cold(benchmark, build_super_vth_family)
+    assert family.node_names() == ("90nm", "65nm", "45nm", "32nm")
+
+
+def test_bench_super_family_sequential(benchmark):
+    family = run_cold(benchmark, build_super_vth_family,
+                      solver="sequential")
+    assert family.node_names() == ("90nm", "65nm", "45nm", "32nm")
+
+
+def test_bench_sub_family_batch(benchmark):
+    family = run_cold(benchmark, build_sub_vth_family)
+    assert family.node_names() == ("90nm", "65nm", "45nm", "32nm")
+
+
+@slow
+def test_bench_sub_family_sequential(benchmark):
+    family = run_cold(benchmark, build_sub_vth_family,
+                      solver="sequential")
+    assert family.node_names() == ("90nm", "65nm", "45nm", "32nm")
+
+
+def test_bench_multivth_menu_batch(benchmark):
+    menu = run_cold(benchmark, derive_flavours, node_by_name("45nm"), 47.0)
+    assert menu["lvt"].vth_mv() < menu["hvt"].vth_mv()
+
+
+@slow
+def test_bench_multivth_menu_sequential(benchmark):
+    menu = run_cold(benchmark, derive_flavours, node_by_name("45nm"), 47.0,
+                    solver="sequential")
+    assert menu["lvt"].vth_mv() < menu["hvt"].vth_mv()
+
+
+def test_bench_sensitivity_rebuild_batch(benchmark):
+    result = run_cold(benchmark, headline_under_calibration,
+                      sce_prefactor=2.2)
+    assert result.snm_advantage > 0.0
+
+
+@slow
+def test_bench_sensitivity_rebuild_sequential(benchmark):
+    result = run_cold(benchmark, headline_under_calibration,
+                      sce_prefactor=2.2, solver="sequential")
+    assert result.snm_advantage > 0.0

@@ -35,6 +35,17 @@ Counter names in use
     V_dd grid points evaluated by the vectorised energy sweep.
 ``circuit.butterfly_batch_solves``
     Vectorised largest-square butterfly-SNM solves.
+``scaling.doping_batch_solves`` / ``scaling.doping_batch_points``
+    Batched doping root-solves and the candidate points they stacked
+    (deterministic: fixed by the optimisation grid sizes).
+``scaling.doping_bisection_sweeps``
+    Whole-stack bisection sweeps inside the batched doping solver
+    (warm-start dependent, so run-order sensitive).
+``scaling.device_eval_points``
+    Parameter-axis device evaluations (`repro.device.batch` metrics
+    calls, counted per stacked point).
+``cache.bracket.hits`` / ``cache.bracket.misses``
+    Warm-start bracket cache of the batched doping solver.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ import numpy as np
 from scipy.optimize import brentq
 
 from .. import perf
+from ..circuit.batch import validate_solver
 from ..circuit.inverter import Inverter
 from ..device.mosfet import MOSFET, Polarity, nfet as build_nfet, pfet as build_pfet
 from ..errors import OptimizationError
@@ -76,23 +77,30 @@ def _solve_substrate_for_ioff(node: NodeSpec, l_poly_nm: float,
             reference_nm=node.l_poly_nm,
         )
 
+    evaluated: dict[float, MOSFET] = {}
+
     def residual(log_n: float) -> float:
         perf.bump("optimizer.brentq_residual_evals")
         dev = device(10.0 ** log_n)
+        evaluated[log_n] = dev
         return math.log(dev.i_off_per_um(vdd_leak) / ioff_target)
 
     lo, hi = (math.log10(b) for b in N_SUB_BOUNDS)
     if residual(lo) < 0.0 or residual(hi) > 0.0:
         return None
-    log_n = brentq(residual, lo, hi, xtol=1e-6)
-    return device(10.0 ** log_n)
+    log_n = brentq(residual, lo, hi, xtol=1e-12)
+    # brentq's last evaluation is at the root it returns: reuse that
+    # device instead of re-running the doping self-consistency solve.
+    dev = evaluated.get(log_n)
+    return device(10.0 ** log_n) if dev is None else dev
 
 
 def optimize_doping_for_length(node: NodeSpec, l_poly_nm: float,
                                ioff_target: float | None = None,
                                polarity: Polarity = Polarity.NFET,
                                width_um: float = 1.0,
-                               vdd_leak: float | None = None) -> MOSFET:
+                               vdd_leak: float | None = None,
+                               solver: str = "batch") -> MOSFET:
     """Minimum-S_S doping meeting the I_off target at a given gate length.
 
     This is the per-length doping co-optimisation behind the paper's
@@ -111,9 +119,19 @@ def optimize_doping_for_length(node: NodeSpec, l_poly_nm: float,
         Drain bias for the leakage measurement; defaults to the node's
         nominal V_dd (leakage budgets are specified at full rail even
         for devices destined for sub-V_th use).
+    solver:
+        ``"batch"`` (default) runs the halo-ratio grid as one masked
+        vectorised root-solve; ``"sequential"`` is the scalar oracle.
     """
+    validate_solver(solver)
     target = sub_vth_ioff_target(node) if ioff_target is None else ioff_target
     bias = node.vdd_nominal if vdd_leak is None else vdd_leak
+    if solver == "batch":
+        from . import batch as batch_mod
+        batch_mod.reset_warm_starts()
+        return batch_mod.optimize_doping_stack(
+            node, [l_poly_nm], [(polarity, width_um)], HALO_RATIO_GRID,
+            target, bias, SS_TIE_TOLERANCE)[0][0]
     candidates: list[MOSFET] = []
     for ratio in HALO_RATIO_GRID:
         candidate = _solve_substrate_for_ioff(
@@ -149,7 +167,8 @@ class SubVthOptimizer:
     pfet_width_um: float = PFET_WIDTH_RATIO
     n_length_points: int = 9
 
-    def design_for_length(self, l_poly_nm: float) -> DeviceDesign:
+    def design_for_length(self, l_poly_nm: float,
+                          solver: str = "batch") -> DeviceDesign:
         """Doping-optimised device pair at one candidate length.
 
         The leakage target is enforced at the sub-V_th operating bias
@@ -158,16 +177,15 @@ class SubVthOptimizer:
         This pins the 250 mV drive current across generations, which is
         what gives the strategy its graceful delay scaling (Fig. 11).
         """
-        n_dev = optimize_doping_for_length(
-            self.node, l_poly_nm, self.ioff_target, Polarity.NFET, 1.0,
-            vdd_leak=SUB_VTH_EVAL_VDD,
-        )
-        p_dev = optimize_doping_for_length(
-            self.node, l_poly_nm, self.ioff_target, Polarity.PFET,
-            self.pfet_width_um, vdd_leak=SUB_VTH_EVAL_VDD,
-        )
-        return DeviceDesign(node=self.node, nfet=n_dev, pfet=p_dev,
-                            strategy="sub-vth", vdd=SUB_VTH_EVAL_VDD)
+        self._fresh_flow(solver)
+        return self._rows_for_lengths([l_poly_nm], solver)[0][1]
+
+    @staticmethod
+    def _fresh_flow(solver: str) -> None:
+        """Start a flow invocation cache-state independent (see batch)."""
+        if solver == "batch":
+            from . import batch as batch_mod
+            batch_mod.reset_warm_starts()
 
     def energy_factor(self, design: DeviceDesign) -> float:
         """``C_L S_S^2`` for one candidate design (arbitrary units)."""
@@ -180,18 +198,54 @@ class SubVthOptimizer:
         c_load = design.load_capacitance()
         return c_load * design.nfet.ss_v_per_dec
 
-    def sweep(self) -> list[tuple[float, DeviceDesign, float]]:
+    def _rows_for_lengths(self, lengths_nm,
+                          solver: str) -> list[tuple[float, DeviceDesign, float]]:
+        """``(l_poly_nm, design, energy_factor)`` rows for a length grid.
+
+        The batch path solves the whole ``lengths x polarity x
+        halo-ratio`` candidate stack in one masked bisection; the
+        sequential path is the per-candidate scalar oracle.
+        """
+        validate_solver(solver)
+        lengths = [float(l) for l in lengths_nm]
+        rows: list[tuple[float, DeviceDesign, float]] = []
+        if solver == "batch":
+            from . import batch as batch_mod
+            target = (sub_vth_ioff_target(self.node)
+                      if self.ioff_target is None else self.ioff_target)
+            jobs = [(Polarity.NFET, 1.0), (Polarity.PFET, self.pfet_width_um)]
+            devices = batch_mod.optimize_doping_stack(
+                self.node, lengths, jobs, HALO_RATIO_GRID, target,
+                SUB_VTH_EVAL_VDD, SS_TIE_TOLERANCE)
+            for l_poly, (n_dev, p_dev) in zip(lengths, devices):
+                design = DeviceDesign(node=self.node, nfet=n_dev, pfet=p_dev,
+                                      strategy="sub-vth", vdd=SUB_VTH_EVAL_VDD)
+                rows.append((l_poly, design, self.energy_factor(design)))
+            return rows
+        for l_poly in lengths:
+            n_dev = optimize_doping_for_length(
+                self.node, l_poly, self.ioff_target, Polarity.NFET, 1.0,
+                vdd_leak=SUB_VTH_EVAL_VDD, solver=solver,
+            )
+            p_dev = optimize_doping_for_length(
+                self.node, l_poly, self.ioff_target, Polarity.PFET,
+                self.pfet_width_um, vdd_leak=SUB_VTH_EVAL_VDD, solver=solver,
+            )
+            design = DeviceDesign(node=self.node, nfet=n_dev, pfet=p_dev,
+                                  strategy="sub-vth", vdd=SUB_VTH_EVAL_VDD)
+            rows.append((l_poly, design, self.energy_factor(design)))
+        return rows
+
+    def sweep(self, solver: str = "batch"
+              ) -> list[tuple[float, DeviceDesign, float]]:
         """Evaluate the length grid: ``(l_poly_nm, design, energy_factor)``."""
+        self._fresh_flow(solver)
         lengths = np.linspace(self.node.l_poly_nm * LENGTH_RANGE[0],
                               self.node.l_poly_nm * LENGTH_RANGE[1],
                               self.n_length_points)
-        rows = []
-        for l_poly in lengths:
-            design = self.design_for_length(float(l_poly))
-            rows.append((float(l_poly), design, self.energy_factor(design)))
-        return rows
+        return self._rows_for_lengths(lengths, solver)
 
-    def optimize(self) -> DeviceDesign:
+    def optimize(self, solver: str = "batch") -> DeviceDesign:
         """Grid search with a flatness-aware selection rule.
 
         The energy-factor landscape is extremely shallow around its
@@ -202,9 +256,9 @@ class SubVthOptimizer:
         pick the energy-optimal length over the delay-optimal one.
         A second, local grid refines the choice.
         """
-        rows = self.sweep()
+        rows = self.sweep(solver=solver)
         chosen = self._select(rows)
-        if chosen == rows[-1][0] and len(rows) > 1:
+        if chosen[0] == rows[-1][0] and len(rows) > 1:
             raise OptimizationError(
                 f"{self.node.name}: energy factor still flat/falling at "
                 f"{rows[-1][0]:.0f} nm; widen LENGTH_RANGE"
@@ -212,42 +266,34 @@ class SubVthOptimizer:
         # Local refinement around the chosen length.
         step = rows[1][0] - rows[0][0] if len(rows) > 1 else 0.0
         if step > 0.0:
-            lo = max(chosen - step, rows[0][0])
-            hi = min(chosen + step, rows[-1][0])
-            local = []
-            for l_poly in np.linspace(lo, hi, 7):
-                design = self.design_for_length(float(l_poly))
-                local.append((float(l_poly), design,
-                              self.energy_factor(design)))
+            lo = max(chosen[0] - step, rows[0][0])
+            hi = min(chosen[0] + step, rows[-1][0])
+            local = self._rows_for_lengths(np.linspace(lo, hi, 7), solver)
             chosen = self._select(local, rows)
-            for l_poly, design, _factor in local:
-                if l_poly == chosen:
-                    return design
-        for l_poly, design, _factor in rows:
-            if l_poly == chosen:
-                return design
-        raise OptimizationError("internal error: chosen length not in grid")
+        return chosen[1]
 
     @staticmethod
     def _select(rows: list[tuple[float, DeviceDesign, float]],
                 reference: list[tuple[float, DeviceDesign, float]] | None = None
-                ) -> float:
-        """Longest length whose energy factor is within tolerance of the min.
+                ) -> tuple[float, DeviceDesign, float]:
+        """Longest-length row whose energy factor is within tolerance of the min.
 
         The minimum is taken over ``rows`` plus the optional
         ``reference`` grid so local refinement cannot drift away from
-        the global floor.
+        the global floor.  Returns the winning row itself so the caller
+        never has to re-find a design by float comparison on length.
         """
         pool = rows if reference is None else rows + reference
         floor = min(r[2] for r in pool)
         eligible = [r for r in rows if r[2] <= floor * (1.0 + FLATNESS_TOLERANCE)]
         if not eligible:
             eligible = [min(rows, key=lambda r: r[2])]
-        return max(eligible, key=lambda r: r[0])[0]
+        return max(eligible, key=lambda r: r[0])
 
 
 def build_sub_vth_family(include_130nm: bool = False,
-                         ioff_target: float | None = None) -> DeviceFamily:
+                         ioff_target: float | None = None,
+                         solver: str = "batch") -> DeviceFamily:
     """The paper's Table 3 device family.
 
     Each node's design uses the energy-optimal gate length and the
@@ -256,5 +302,5 @@ def build_sub_vth_family(include_130nm: bool = False,
     designs = []
     for node in roadmap_nodes(include_130nm):
         optimizer = SubVthOptimizer(node, ioff_target=ioff_target)
-        designs.append(optimizer.optimize())
+        designs.append(optimizer.optimize(solver=solver))
     return DeviceFamily(strategy="sub-vth", designs=tuple(designs))

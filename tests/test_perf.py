@@ -59,5 +59,18 @@ class TestInstrumentation:
         from repro.scaling.roadmap import roadmap_nodes
         from repro.scaling.supervth import SuperVthOptimizer
         perf.reset()
-        SuperVthOptimizer(roadmap_nodes()[0]).solve_substrate()
+        SuperVthOptimizer(roadmap_nodes()[0]).solve_substrate(
+            solver="sequential")
         assert perf.get("optimizer.brentq_residual_evals") > 2
+        assert perf.get("scaling.doping_batch_solves") == 0
+
+    def test_scaling_batch_counters(self):
+        from repro.scaling.roadmap import roadmap_nodes
+        from repro.scaling.supervth import SuperVthOptimizer
+        perf.reset()
+        SuperVthOptimizer(roadmap_nodes()[0]).solve_substrate()
+        assert perf.get("scaling.doping_batch_solves") == 1
+        assert perf.get("scaling.doping_batch_points") == 1
+        assert perf.get("scaling.doping_bisection_sweeps") > 2
+        assert perf.get("scaling.device_eval_points") > 2
+        assert perf.get("optimizer.brentq_residual_evals") == 0

@@ -93,4 +93,6 @@ class TestOptimizer:
             (38.0, "d38", 1.005),   # within 2% of the 0.990 floor
             (42.0, "d42", 1.060),   # outside
         ]
-        assert SubVthOptimizer._select(rows) == 38.0
+        chosen = SubVthOptimizer._select(rows)
+        assert chosen[0] == 38.0
+        assert chosen[1] == "d38"  # the row itself, not just its length

@@ -2,14 +2,18 @@
 
 Runs a bench suite under pytest-benchmark and distils the
 machine-readable results into a small summary at the repository root.
-Two suites exist:
+Three suites exist:
 
 * ``kernels`` — the hot device/TCAD kernels
   (``benchmarks/test_bench_kernels.py`` plus the raw super-V_th
   optimiser bench) -> ``BENCH_kernels.json``;
 * ``circuits`` — the vectorised circuit-evaluation layer
   (``benchmarks/test_bench_circuits.py``: batched VTC/SNM, array-native
-  Monte Carlo, and their sequential oracles) -> ``BENCH_circuits.json``.
+  Monte Carlo, and their sequential oracles) -> ``BENCH_circuits.json``;
+* ``flows`` — the batched design-space engine
+  (``benchmarks/test_bench_flows.py``: cold-cache super/sub-V_th family
+  builds, the multi-V_th menu, the calibration-sensitivity rebuild, and
+  their sequential oracles) -> ``BENCH_flows.json``.
 
 Committing the summary after perf-relevant PRs builds up the
 performance trajectory of the project; CI runs the same script with
@@ -51,6 +55,10 @@ SUITES = {
     "circuits": {
         "targets": ("benchmarks/test_bench_circuits.py",),
         "output": "BENCH_circuits.json",
+    },
+    "flows": {
+        "targets": ("benchmarks/test_bench_flows.py",),
+        "output": "BENCH_flows.json",
     },
 }
 
