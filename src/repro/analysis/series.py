@@ -42,7 +42,7 @@ class Series:
     def normalized(self, reference: float | None = None) -> "Series":
         """Series scaled so the reference value (default: first y) is 1."""
         ref = self.y[0] if reference is None else reference
-        if ref == 0.0:
+        if ref == 0:
             raise ParameterError("cannot normalise by zero")
         return Series(label=self.label, x=self.x, y=self.y / ref,
                       x_label=self.x_label,
@@ -50,13 +50,13 @@ class Series:
 
     def total_change(self) -> float:
         """Fractional change from first to last sample."""
-        if self.y[0] == 0.0:
+        if self.y[0] == 0:
             raise ParameterError("cannot normalise by zero")
         return float(self.y[-1] / self.y[0] - 1.0)
 
     def per_step_change(self) -> list[float]:
         """Fractional change between consecutive samples."""
-        if np.any(self.y[:-1] == 0.0):
+        if np.any(self.y[:-1] == 0):
             raise ParameterError("cannot normalise by zero")
         return list(np.diff(self.y) / self.y[:-1])
 

@@ -21,7 +21,7 @@ def format_sig(value: float, digits: int = 3) -> str:
     >>> format_sig(0.00123)
     '0.00123'
     """
-    if value == 0.0:
+    if value == 0:
         return "0"
     if math.isnan(value) or math.isinf(value):
         return str(value)

@@ -67,7 +67,7 @@ LOST_REGENERATION_MESSAGES = (
 )
 
 
-def validate_solver(solver: str) -> None:
+def validate_solver(solver: str) -> None:  # repro: noqa[RPR004] the switch's own validator, not a dual-backend API
     """Raise :class:`ParameterError` unless ``solver`` is a known mode."""
     if solver not in SOLVER_MODES:
         raise ParameterError(
@@ -207,8 +207,8 @@ def solve_vtc_batch(inverter, vin, dvth_n=0.0, dvth_p=0.0,
     return vout.reshape(shape)
 
 
-def gain_batch(inverter, vin, dvth_n=0.0, dvth_p=0.0, h: float | None = None,
-               xtol: float = XTOL_DEFAULT):
+def gain_batch(inverter, vin, dvth_n=0.0, dvth_p=0.0,
+               h_v: float | None = None, xtol: float = XTOL_DEFAULT):
     """Small-signal gain dV_out/dV_in for arrays of VTC points.
 
     Uses the same finite-difference stencil (step ``V_dd * 1e-4``,
@@ -218,7 +218,7 @@ def gain_batch(inverter, vin, dvth_n=0.0, dvth_p=0.0, h: float | None = None,
     vin_arr, dn_arr, dp_arr = _broadcast_inputs(vin, dvth_n, dvth_p)
     shape = vin_arr.shape
     gains = _gain_flat(inverter, vin_arr.ravel(), dn_arr.ravel(),
-                       dp_arr.ravel(), h, xtol)
+                       dp_arr.ravel(), h_v, xtol)
     if shape == ():
         return float(gains[0])
     return gains.reshape(shape)

@@ -108,10 +108,10 @@ class Inverter:
         vouts = np.array([self.vtc_point(float(v), xtol=xtol) for v in vins])
         return vins, vouts
 
-    def gain(self, vin: float, h: float | None = None,
+    def gain(self, vin: float, h_v: float | None = None,
              xtol: float = 1e-9) -> float:
         """Small-signal voltage gain dV_out/dV_in at ``vin`` (negative)."""
-        step = (self.vdd * 1e-4) if h is None else h
+        step = (self.vdd * 1e-4) if h_v is None else h_v
         lo = max(vin - step, 0.0)
         hi = min(vin + step, self.vdd)
         if hi <= lo:

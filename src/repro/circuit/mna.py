@@ -70,11 +70,11 @@ class TransientResult:
         """Linearly interpolated node voltage at ``time_s`` [V]."""
         return float(np.interp(time_s, self.time_s, self.voltages[node]))
 
-    def crossing_time(self, node: str, level: float,
+    def crossing_time(self, node: str, level_v: float,
                       rising: bool | None = None) -> float:
-        """First time the node crosses ``level`` [s]."""
+        """First time the node crosses ``level_v`` [s]."""
         wave = self.voltages[node]
-        above = wave >= level
+        above = wave >= level_v
         for i in range(1, wave.size):
             if above[i] == above[i - 1]:
                 continue
@@ -84,8 +84,8 @@ class TransientResult:
                 continue
             t0, t1 = self.time_s[i - 1], self.time_s[i]
             v0, v1 = wave[i - 1], wave[i]
-            return float(t0 + (level - v0) * (t1 - t0) / (v1 - v0))
-        raise ParameterError(f"node {node!r} never crosses {level} V")
+            return float(t0 + (level_v - v0) * (t1 - t0) / (v1 - v0))
+        raise ParameterError(f"node {node!r} never crosses {level_v} V")
 
 
 class NodalSolver:
@@ -216,13 +216,13 @@ class NodalSolver:
         while True:
             x, used = self._newton(x, time_s, gmin, prev=None, dt=None)
             total_iter += used
-            if gmin == 0.0:
+            if gmin == 0:
                 break
             gmin = 0.0 if gmin < 1e-12 else gmin * 1e-3
         return DCResult(voltages=self._node_voltages(x, time_s),
                         iterations=total_iter)
 
-    def solve_transient(self, t_stop: float, dt: float,
+    def solve_transient(self, t_stop_s: float, dt_s: float,
                         initial: dict[str, float] | None = None,
                         use_initial_conditions: bool = False,
                         dt_min_factor: float = 1e-6,
@@ -232,10 +232,10 @@ class NodalSolver:
 
         Parameters
         ----------
-        t_stop / dt:
-            Horizon and initial step.  The step halves on Newton
-            failure (down to ``dt * dt_min_factor``) and recovers by
-            1.5x on success, capped at the initial ``dt``.
+        t_stop_s / dt_s:
+            Horizon and initial step [s].  The step halves on Newton
+            failure (down to ``dt_s * dt_min_factor``) and recovers by
+            1.5x on success, capped at the initial ``dt_s``.
         initial:
             Node -> voltage values.  By default they seed the starting
             DC solve; with ``use_initial_conditions`` they *are* the
@@ -245,8 +245,8 @@ class NodalSolver:
             Optional accuracy bound: a step whose largest node change
             exceeds this is retried at half the step.
         """
-        if t_stop <= 0.0 or dt <= 0.0:
-            raise ParameterError("t_stop and dt must be positive")
+        if t_stop_s <= 0.0 or dt_s <= 0.0:
+            raise ParameterError("t_stop_s and dt_s must be positive")
         if use_initial_conditions:
             x0 = np.zeros(len(self.unknowns))
             if initial:
@@ -263,10 +263,10 @@ class NodalSolver:
         prev = dict(start_voltages)
         x = np.array([prev[n] for n in self.unknowns])
         t = 0.0
-        step = dt
-        min_step = dt * dt_min_factor
-        while t < t_stop - 1e-18:
-            step = min(step, t_stop - t)
+        step = dt_s
+        min_step = dt_s * dt_min_factor
+        while t < t_stop_s - 1e-18:
+            step = min(step, t_stop_s - t)
             try:
                 x_new, _ = self._newton(x.copy(), t + step, gmin=0.0,
                                         prev=prev, dt=step)
@@ -287,7 +287,7 @@ class NodalSolver:
             times.append(t)
             for node, value in prev.items():
                 waves[node].append(value)
-            step = min(step * 1.5, dt)
+            step = min(step * 1.5, dt_s)
         return TransientResult(
             time_s=np.array(times),
             voltages={n: np.array(v) for n, v in waves.items()},

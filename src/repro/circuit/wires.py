@@ -34,20 +34,20 @@ class WireModel:
 
     Attributes
     ----------
-    c_per_um:
+    c_f_per_um:
         Capacitance per µm of wire [F/µm].
-    r_per_um:
+    r_ohm_per_um:
         Resistance per µm of wire [ohm/µm].
     node_name:
         The node this model belongs to.
     """
 
-    c_per_um: float
-    r_per_um: float
+    c_f_per_um: float
+    r_ohm_per_um: float
     node_name: str = ""
 
     def __post_init__(self) -> None:
-        if self.c_per_um <= 0.0 or self.r_per_um <= 0.0:
+        if self.c_f_per_um <= 0.0 or self.r_ohm_per_um <= 0.0:
             raise ParameterError("wire parameters must be positive")
 
     @classmethod
@@ -56,8 +56,8 @@ class WireModel:
         gens = node.generation
         shrink = DIMENSION_FACTOR_PER_GEN ** gens
         return cls(
-            c_per_um=C_WIRE_90NM_F_PER_UM,          # ~constant per length
-            r_per_um=R_WIRE_90NM_OHM_PER_UM / shrink ** 2,
+            c_f_per_um=C_WIRE_90NM_F_PER_UM,          # ~constant per length
+            r_ohm_per_um=R_WIRE_90NM_OHM_PER_UM / shrink ** 2,
             node_name=node.name,
         )
 
@@ -65,13 +65,13 @@ class WireModel:
         """Total capacitance of a wire [F]."""
         if length_um < 0.0:
             raise ParameterError("length must be >= 0")
-        return self.c_per_um * length_um
+        return self.c_f_per_um * length_um
 
     def resistance(self, length_um: float) -> float:
         """Total resistance of a wire [ohm]."""
         if length_um < 0.0:
             raise ParameterError("length must be >= 0")
-        return self.r_per_um * length_um
+        return self.r_ohm_per_um * length_um
 
     def elmore_delay(self, length_um: float, c_load_f: float = 0.0) -> float:
         """Distributed-RC Elmore delay of the wire [s].
@@ -97,8 +97,8 @@ class WireModel:
             raise ParameterError("fraction must be in (0, 1)")
         budget = fraction * gate_delay_s
         # Solve 0.5 r c L^2 + r C_load L = budget for L (per-um r, c).
-        a = 0.5 * self.r_per_um * self.c_per_um
-        b = self.r_per_um * c_load_f
+        a = 0.5 * self.r_ohm_per_um * self.c_f_per_um
+        b = self.r_ohm_per_um * c_load_f
         disc = b * b + 4.0 * a * budget
         return (-b + disc ** 0.5) / (2.0 * a)
 

@@ -10,11 +10,13 @@ Usage::
     repro report               # regenerate EXPERIMENTS.md, docs/RESULTS.md,
                                # results.json from live runs
     repro report --check       # exit 2 if the committed docs are stale
+    repro lint                 # check the repo's coding invariants
+    repro lint --format json   # ... machine-readable findings
     python -m repro run table2 # module form
 
-Exit codes: 0 success; 1 a reproduced claim failed to hold; 2 usage
-errors (unknown experiment id, bad flags) or stale generated docs in
-``report --check`` mode.
+Exit codes: 0 success; 1 a reproduced claim failed to hold (or, for
+``lint``, active findings); 2 usage errors (unknown experiment id, bad
+flags) or stale generated docs in ``report --check`` mode.
 """
 
 from __future__ import annotations
@@ -286,6 +288,24 @@ def main(argv: list[str] | None = None) -> int:
     report_parser.add_argument("--manifest", metavar="PATH",
                                help="JSONL trace log path (default: "
                                     "<root>/.repro/manifest.jsonl)")
+    lint_parser = sub.add_parser(
+        "lint", help="check the repo's coding invariants (RPR rules)")
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files/directories to check (default: "
+                                  "all library sources under src/repro)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text", dest="output_format",
+                             help="findings output format (default: text)")
+    lint_parser.add_argument("--root", metavar="DIR",
+                             help="repository root (default: inferred "
+                                  "from the package location)")
+    lint_parser.add_argument("--baseline", metavar="PATH",
+                             help="baseline file of grandfathered "
+                                  "findings (default: <root>/"
+                                  "lint-baseline.json)")
+    lint_parser.add_argument("--update-baseline", action="store_true",
+                             help="rewrite the baseline to cover the "
+                                  "current findings, then exit 0")
     cards_parser = sub.add_parser(
         "cards", help="print a strategy family's model cards")
     cards_parser.add_argument("strategy", help="super-vth or sub-vth")
@@ -299,6 +319,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         return _cmd_report(args.root, check=args.check, jobs=args.jobs,
                            only=args.only, manifest_path=args.manifest)
+    if args.command == "lint":
+        from .lint import run_lint_command
+        return run_lint_command(paths=args.paths,
+                                output_format=args.output_format,
+                                root=args.root,
+                                baseline_path=args.baseline,
+                                update_baseline=args.update_baseline)
     if args.command == "cards":
         return _cmd_cards(args.strategy)
     if args.command == "save-family":

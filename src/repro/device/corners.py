@@ -71,7 +71,7 @@ def at_corner(device: MOSFET, corner: Corner,
     """
     spec = spec or CornerSpec()
     tox_sign, dope_sign = _SIGNS[corner]
-    if tox_sign == 0.0 and dope_sign == 0.0:
+    if tox_sign == 0 and dope_sign == 0:
         return device
     tox_factor = 1.0 + tox_sign * spec.tox_sigma_pct / 100.0
     dope_factor = 1.0 + dope_sign * spec.doping_sigma_pct / 100.0

@@ -1,0 +1,124 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline file (``lint-baseline.json`` at the repository root)
+records findings that predate a rule and were reviewed rather than
+fixed.  Every entry must carry a ``justification`` string — the
+reviewer's reason the finding is acceptable — so a baseline entry is
+an explicit decision, not a silent mute.
+
+Entries are keyed by :attr:`repro.lint.findings.Finding.fingerprint`
+(rule id + path + offending line text), which survives line-number
+drift; when the offending line itself changes, the entry stops
+matching and the finding resurfaces for a fresh decision.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..errors import ParameterError
+from .findings import Finding
+
+#: Default baseline location relative to the repository root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_SCHEMA = 1
+
+
+class Baseline:
+    """In-memory view of the baseline file."""
+
+    def __init__(self, entries: dict[str, dict[str, str]] | None = None
+                 ) -> None:
+        #: fingerprint -> {"rule", "path", "line_text", "justification"}
+        self.entries: dict[str, dict[str, str]] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered by this baseline."""
+        return finding.fingerprint in self.entries
+
+    def unmatched(self, findings: list[Finding]) -> list[dict[str, str]]:
+        """Entries that no current finding matches (stale, fixable)."""
+        seen = {f.fingerprint for f in findings}
+        return [dict(entry, fingerprint=fp)
+                for fp, entry in sorted(self.entries.items())
+                if fp not in seen]
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            raise ParameterError(
+                f"unparseable baseline {path}: {err}") from err
+        if payload.get("schema") != _SCHEMA:
+            raise ParameterError(
+                f"baseline {path} has schema {payload.get('schema')!r}; "
+                f"this checker reads schema {_SCHEMA}")
+        entries: dict[str, dict[str, str]] = {}
+        for entry in payload.get("findings", []):
+            fingerprint = entry.get("fingerprint")
+            if not fingerprint:
+                raise ParameterError(
+                    f"baseline {path}: entry without fingerprint: {entry}")
+            if not entry.get("justification"):
+                raise ParameterError(
+                    f"baseline {path}: entry {fingerprint} has no "
+                    "justification; baselined findings must say why")
+            entries[fingerprint] = {
+                "rule": entry.get("rule", ""),
+                "path": entry.get("path", ""),
+                "line_text": entry.get("line_text", ""),
+                "justification": entry["justification"],
+            }
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """Baseline covering ``findings``, keeping prior justifications.
+
+        New entries get a ``"TODO: justify"`` placeholder the reviewer
+        must replace — :meth:`load` accepts it (it is non-empty) but
+        code review should not.
+        """
+        previous = previous or cls()
+        entries: dict[str, dict[str, str]] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            old = previous.entries.get(finding.fingerprint, {})
+            entries[finding.fingerprint] = {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line_text": finding.line_text.strip(),
+                "justification": old.get("justification",
+                                         "TODO: justify"),
+            }
+        return cls(entries)
+
+    def save(self, path: pathlib.Path) -> None:
+        """Write the baseline file (sorted, newline-terminated)."""
+        payload = {
+            "schema": _SCHEMA,
+            "comment": "Grandfathered `repro lint` findings. Entries are "
+                       "keyed by fingerprint (rule|path|line text); each "
+                       "must carry a justification. Fix the code instead "
+                       "of adding entries whenever possible.",
+            "findings": [
+                dict(fingerprint=fp, **entry)
+                for fp, entry in sorted(self.entries.items(),
+                                        key=lambda kv: (kv[1]["path"],
+                                                        kv[1]["rule"],
+                                                        kv[0]))
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                        + "\n")

@@ -1,0 +1,95 @@
+"""Implementation of the ``repro lint`` subcommand.
+
+Exit codes follow the repo convention: 0 clean (inline suppressions
+and baselined findings do not count), 1 active findings or stale
+baseline entries, 2 usage errors (bad paths, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from ..errors import ParameterError
+from .baseline import Baseline, DEFAULT_BASELINE_NAME
+from .context import ProjectContext
+from .engine import LintReport, lint_paths
+
+
+def default_root() -> pathlib.Path:
+    """Repository root inferred from the installed package location.
+
+    The source tree layout is ``<root>/src/repro/lint/cli.py``; when
+    the package runs from somewhere else (a wheel), fall back to the
+    current directory and let ``--root`` override.
+    """
+    here = pathlib.Path(__file__).resolve()
+    candidate = here.parents[3]
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    return pathlib.Path.cwd()
+
+
+def _resolve_files(root: pathlib.Path, context: ProjectContext,
+                   paths: list[str] | None) -> list[pathlib.Path] | None:
+    """Expand CLI path arguments; None signals a usage error."""
+    if not paths:
+        return context.source_files()
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {raw}",
+                  file=sys.stderr)
+            return None
+    return [p for p in files if "egg-info" not in p.parts]
+
+
+def run_lint_command(paths: list[str] | None = None,
+                     output_format: str = "text",
+                     root: str | None = None,
+                     baseline_path: str | None = None,
+                     update_baseline: bool = False) -> int:
+    """Body of ``repro lint``; returns the process exit code."""
+    root_dir = pathlib.Path(root).resolve() if root else default_root()
+    if not (root_dir / "src" / "repro").is_dir():
+        print(f"error: {root_dir} does not look like the repository "
+              "root (no src/repro)", file=sys.stderr)
+        return 2
+    context = ProjectContext(root_dir)
+    files = _resolve_files(root_dir, context, paths)
+    if files is None:
+        return 2
+    baseline_file = (pathlib.Path(baseline_path) if baseline_path
+                     else root_dir / DEFAULT_BASELINE_NAME)
+    try:
+        baseline = Baseline.load(baseline_file)
+    except ParameterError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(files, context, baseline)
+
+    if update_baseline:
+        fresh = Baseline.from_findings(report.findings, previous=baseline)
+        fresh.save(baseline_file)
+        print(f"wrote {baseline_file} ({len(fresh)} grandfathered "
+              f"finding(s)); fill in any 'TODO: justify' entries")
+        return 0
+
+    _emit(report, output_format)
+    return 0 if report.clean else 1
+
+
+def _emit(report: LintReport, output_format: str) -> None:
+    if output_format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())

@@ -1,0 +1,186 @@
+"""Rule framework and per-file driver for ``repro lint``.
+
+A :class:`Rule` inspects one parsed module at a time (plus the shared
+:class:`~repro.lint.context.ProjectContext` for cross-file facts) and
+yields :class:`~repro.lint.findings.Finding` records.  The driver
+parses each file once, runs every registered rule over it, then folds
+in the two suppression layers:
+
+1. inline ``# repro: noqa[RULE]`` markers on the offending line, and
+2. the checked-in baseline of reviewed, grandfathered findings.
+
+Findings that survive both layers are *active* and drive the non-zero
+exit code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Iterable, Iterator
+
+from ..errors import ParameterError
+from .baseline import Baseline
+from .context import ModuleUnit, ProjectContext
+from .findings import Finding
+from .suppress import build_suppression_map
+
+_RULE_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for lint rules; subclasses register on instantiation.
+
+    Class attributes
+    ----------------
+    rule_id:
+        Stable identifier (``RPR001`` ...), used in output, noqa
+        markers, and baseline entries.
+    title:
+        One-line summary for the rule catalogue.
+    rationale:
+        Why the invariant exists in *this* repository — typically the
+        PR whose hand-fixed bug motivated it.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check_module(self, module: ModuleUnit,
+                     context: ProjectContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(self, module: ModuleUnit, line: int, col: int,
+                message: str) -> Finding:
+        """Helper building a :class:`Finding` with the line text filled."""
+        return Finding(rule_id=self.rule_id, path=module.rel_path,
+                       line=line, col=col, message=message,
+                       line_text=module.line_text(line))
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ParameterError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _RULE_REGISTRY:
+        raise ParameterError(f"duplicate rule id {rule_cls.rule_id!r}")
+    _RULE_REGISTRY[rule_cls.rule_id] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id (imports the bundled rule set)."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+    return [_RULE_REGISTRY[rid] for rid in sorted(_RULE_REGISTRY)]
+
+
+def rule_catalogue() -> list[tuple[str, str, str]]:
+    """``(rule_id, title, rationale)`` rows for docs and ``--explain``."""
+    return [(r.rule_id, r.title, r.rationale) for r in all_rules()]
+
+
+class LintReport:
+    """Outcome of one lint run."""
+
+    def __init__(self, findings: list[Finding],
+                 stale_baseline: list[dict[str, str]],
+                 files_checked: int) -> None:
+        self.findings = findings
+        self.stale_baseline = stale_baseline
+        self.files_checked = files_checked
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that are neither suppressed nor baselined."""
+        return [f for f in self.findings if f.active]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing counts against the exit code."""
+        return not self.active and not self.stale_baseline
+
+    def render_text(self, verbose: bool = False) -> str:
+        """Human-readable report (active findings, then a summary)."""
+        lines = []
+        shown = self.findings if verbose else self.active
+        for finding in sorted(shown, key=lambda f: (f.path, f.line,
+                                                    f.col, f.rule_id)):
+            lines.append(finding.render())
+        for entry in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry {entry['fingerprint']} "
+                f"({entry['rule']} in {entry['path']}): finding no longer "
+                "present; remove it from the baseline")
+        suppressed = sum(1 for f in self.findings if f.suppressed)
+        baselined = sum(1 for f in self.findings if f.baselined)
+        lines.append(
+            f"checked {self.files_checked} files: "
+            f"{len(self.active)} finding(s), {baselined} baselined, "
+            f"{suppressed} suppressed"
+            + (f", {len(self.stale_baseline)} stale baseline entr"
+               f"{'y' if len(self.stale_baseline) == 1 else 'ies'}"
+               if self.stale_baseline else ""))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, object]:
+        """Machine-readable report for ``--format json``."""
+        ordered = sorted(self.findings,
+                         key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return {
+            "schema": 1,
+            "files_checked": self.files_checked,
+            "active": len(self.active),
+            "baselined": sum(1 for f in self.findings if f.baselined),
+            "suppressed": sum(1 for f in self.findings if f.suppressed),
+            "stale_baseline": self.stale_baseline,
+            "findings": [f.to_json() for f in ordered],
+        }
+
+
+def lint_paths(paths: Iterable[pathlib.Path], context: ProjectContext,
+               baseline: Baseline | None = None,
+               rules: Iterable[Rule] | None = None) -> LintReport:
+    """Run the rule set over ``paths`` and classify the findings."""
+    baseline = baseline or Baseline()
+    active_rules = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    files_checked = 0
+    for path in paths:
+        try:
+            module = ModuleUnit(path, context.root)
+        except SyntaxError as err:
+            findings.append(Finding(
+                rule_id="RPR000",
+                path=path.relative_to(context.root).as_posix(),
+                line=err.lineno or 1, col=(err.offset or 1) - 1,
+                message=f"file does not parse: {err.msg}",
+                line_text=err.text or ""))
+            files_checked += 1
+            continue
+        files_checked += 1
+        suppressions = build_suppression_map(module.source)
+        for rule in active_rules:
+            for finding in rule.check_module(module, context):
+                marked = suppressions.get(finding.line, frozenset())
+                if finding.rule_id in marked:
+                    finding = dataclasses.replace(finding, suppressed=True)
+                elif baseline.matches(finding):
+                    finding = dataclasses.replace(finding, baselined=True)
+                findings.append(finding)
+    return LintReport(findings=findings,
+                      stale_baseline=baseline.unmatched(findings),
+                      files_checked=files_checked)
+
+
+def lint_repository(root: pathlib.Path,
+                    baseline_path: pathlib.Path | None = None
+                    ) -> LintReport:
+    """Lint every library source under ``root`` with the baseline."""
+    from .baseline import DEFAULT_BASELINE_NAME
+    context = ProjectContext(root)
+    path = baseline_path or (root / DEFAULT_BASELINE_NAME)
+    baseline = Baseline.load(path)
+    return lint_paths(context.source_files(), context, baseline)

@@ -1,0 +1,80 @@
+"""Finding records produced by the invariant checker.
+
+A :class:`Finding` pins a rule violation to a source location and
+carries a *fingerprint* — a digest of the rule id, the file path and
+the offending source line text — that stays stable when unrelated
+edits shift line numbers.  The checked-in baseline file stores
+fingerprints, so grandfathered findings survive refactors that do not
+touch the offending line itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule_id:
+        Rule identifier, e.g. ``"RPR001"``.
+    path:
+        File path relative to the repository root (POSIX separators).
+    line / col:
+        1-based line and 0-based column of the violation.
+    message:
+        Human-readable description of what is wrong and how to fix it.
+    line_text:
+        The stripped source line, used for fingerprinting and display.
+    suppressed:
+        True when an inline ``# repro: noqa[RULE]`` covers this line.
+    baselined:
+        True when the checked-in baseline grandfathers this finding.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-stable digest used by the baseline file."""
+        payload = f"{self.rule_id}|{self.path}|{self.line_text.strip()}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def active(self) -> bool:
+        """True when the finding counts against the exit code."""
+        return not (self.suppressed or self.baselined)
+
+    def render(self) -> str:
+        """``path:line:col: RPRnnn message`` single-line form."""
+        tag = ""
+        if self.suppressed:
+            tag = " (suppressed)"
+        elif self.baselined:
+            tag = " (baselined)"
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} {self.message}{tag}")
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serialisable form for ``--format json``."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }

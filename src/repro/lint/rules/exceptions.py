@@ -1,0 +1,63 @@
+"""RPR002 — no broad exception swallowing in library code.
+
+``except Exception`` (or a bare ``except:``) that never re-raises
+turns solver bugs into silently wrong numbers.  PR 3 hand-fixed one:
+``snm_distribution`` caught every exception where it meant "this trial
+lost regeneration", masking genuine convergence failures until the
+handler was narrowed to the known message list.
+
+A broad handler is allowed only when its body contains a ``raise``
+(conditional re-raise firewalls like the sweep recorders), otherwise
+catch the narrow :mod:`repro.errors` type the call can actually throw.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleUnit, ProjectContext
+from ..engine import Rule, register
+from ..findings import Finding
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in _BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise)
+               for node in ast.walk(handler))
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "RPR002"
+    title = "broad except without re-raise"
+    rationale = ("PR 3: snm_distribution's bare except masked solver "
+                 "failures as lost-regeneration trials until narrowed")
+
+    def check_module(self, module: ModuleUnit,
+                     context: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node) or _reraises(node):
+                continue
+            what = ("bare except" if node.type is None
+                    else "broad except")
+            yield self.finding(
+                module, node.lineno, node.col_offset,
+                f"{what} swallows all errors; catch a narrow "
+                f"repro.errors type or re-raise unexpected exceptions")

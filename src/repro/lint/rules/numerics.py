@@ -1,0 +1,55 @@
+"""RPR001 — no float-literal equality comparisons in library code.
+
+``x == 0.1`` is almost always a tolerance bug in numerical code: the
+comparison silently depends on the rounding history of ``x``.  PR 4
+removed exactly such a bug (a float-equality re-find of an optimiser's
+winning row).  The sanctioned forms are:
+
+* exact-sentinel checks against the *integer* literal ``0`` (IEEE-754
+  represents it exactly and the int literal signals "exact" intent):
+  ``if ref == 0: ...``;
+* tolerance checks through :func:`math.isclose` / :func:`numpy.isclose`;
+* restructuring so the sentinel is carried alongside the value instead
+  of being re-derived (what PR 4 did).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleUnit, ProjectContext
+from ..engine import Rule, register
+from ..findings import Finding
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "RPR001"
+    title = "float-literal == / != comparison"
+    rationale = ("PR 4: a float-equality re-find selected the wrong "
+                 "optimiser row; equality on floats encodes a hidden "
+                 "zero-tolerance assumption")
+
+    def check_module(self, module: ModuleUnit,
+                     context: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparands = [node.left, *node.comparators]
+            for op, (lhs, rhs) in zip(node.ops,
+                                      zip(comparands, comparands[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                literal = next(
+                    (c for c in (lhs, rhs)
+                     if isinstance(c, ast.Constant)
+                     and isinstance(c.value, float)), None)
+                if literal is None:
+                    continue
+                kind = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    module, literal.lineno, literal.col_offset,
+                    f"float literal compared with {kind}; use the int "
+                    f"sentinel 0 for exact checks or math.isclose/"
+                    f"np.isclose for tolerances")

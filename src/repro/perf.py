@@ -46,11 +46,53 @@ Counter names in use
     calls, counted per stacked point).
 ``cache.bracket.hits`` / ``cache.bracket.misses``
     Warm-start bracket cache of the batched doping solver.
+``cache.family.stores``
+    Optimised families persisted to the on-disk cache.
+``scaling.family.*``
+    Flow-level re-attribution of the ``scaling.*`` counters by
+    :mod:`repro.experiments.families` (same meanings, family scope).
+
+The registry below mirrors this list; ``repro lint`` (rule RPR006)
+statically checks every ``perf.bump``/``perf.get`` call site against
+it, so adding a counter means adding it here *and* documenting it
+above.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+
+#: Every literal counter name a call site may use (lint rule RPR006).
+KNOWN_COUNTERS: frozenset[str] = frozenset({
+    "poisson.solves",
+    "poisson.batch_solves",
+    "poisson.newton_iterations",
+    "optimizer.brentq_residual_evals",
+    "cache.device.hits",
+    "cache.device.misses",
+    "cache.family.hits",
+    "cache.family.misses",
+    "cache.family.stores",
+    "cache.bracket.hits",
+    "cache.bracket.misses",
+    "circuit.vtc_batch_solves",
+    "circuit.vtc_batch_points",
+    "circuit.balance_bisection_sweeps",
+    "circuit.vtc_scalar_solves",
+    "circuit.snm_batch_extractions",
+    "circuit.delay_batch_points",
+    "circuit.energy_sweep_points",
+    "circuit.butterfly_batch_solves",
+    "scaling.doping_batch_solves",
+    "scaling.doping_batch_points",
+    "scaling.doping_bisection_sweeps",
+    "scaling.device_eval_points",
+})
+
+#: Name families that may be built dynamically (f-string/concat call
+#: sites): the cache layer parameterises ``cache.<name>.*`` on the memo
+#: name, and the family flows re-attribute under ``scaling.family.*``.
+DYNAMIC_COUNTER_PREFIXES: tuple[str, ...] = ("cache.", "scaling.family.")
 
 _COUNTERS: Counter[str] = Counter()
 

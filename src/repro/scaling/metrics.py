@@ -75,7 +75,7 @@ def per_generation_change(values: list[float]) -> list[float]:
     """
     if len(values) < 2:
         raise ParameterError("need at least two generations")
-    if any(v == 0.0 for v in values[:-1]):
+    if any(v == 0 for v in values[:-1]):
         raise ParameterError("cannot normalise by a zero value")
     return [(b - a) / a for a, b in zip(values[:-1], values[1:])]
 

@@ -31,7 +31,7 @@ class Mesh1D:
         nodes = np.asarray(self.nodes_cm, dtype=float)
         if nodes.ndim != 1 or nodes.size < 3:
             raise ParameterError("mesh needs at least 3 nodes")
-        if nodes[0] != 0.0:
+        if nodes[0] != 0:
             raise ParameterError("mesh must start at the interface (0)")
         if np.any(np.diff(nodes) <= 0.0):
             raise ParameterError("mesh nodes must be strictly increasing")

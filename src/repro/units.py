@@ -83,7 +83,7 @@ def format_quantity(value: float, unit: str = "", digits: int = 3) -> str:
     >>> format_quantity(0.25, "V")
     '250mV'
     """
-    if value == 0.0:
+    if value == 0:
         return f"0{unit}"
     if math.isnan(value) or math.isinf(value):
         return f"{value}{unit}"

@@ -13,25 +13,25 @@ from repro.scaling.roadmap import node_by_name
 class TestWireModel:
     def test_for_node_90nm_reference(self):
         model = WireModel.for_node(node_by_name("90nm"))
-        assert model.c_per_um == pytest.approx(0.2e-15)
-        assert model.r_per_um == pytest.approx(1.0)
+        assert model.c_f_per_um == pytest.approx(0.2e-15)
+        assert model.r_ohm_per_um == pytest.approx(1.0)
 
     def test_resistance_grows_with_scaling(self):
-        r90 = WireModel.for_node(node_by_name("90nm")).r_per_um
-        r32 = WireModel.for_node(node_by_name("32nm")).r_per_um
+        r90 = WireModel.for_node(node_by_name("90nm")).r_ohm_per_um
+        r32 = WireModel.for_node(node_by_name("32nm")).r_ohm_per_um
         assert r32 == pytest.approx(r90 / 0.7 ** 6, rel=1e-6)
 
     def test_capacitance_constant_per_length(self):
-        c90 = WireModel.for_node(node_by_name("90nm")).c_per_um
-        c32 = WireModel.for_node(node_by_name("32nm")).c_per_um
+        c90 = WireModel.for_node(node_by_name("90nm")).c_f_per_um
+        c32 = WireModel.for_node(node_by_name("32nm")).c_f_per_um
         assert c32 == pytest.approx(c90)
 
     def test_totals_linear_in_length(self):
         model = WireModel.for_node(node_by_name("45nm"))
         assert model.capacitance(10.0) == pytest.approx(
-            10.0 * model.c_per_um)
+            10.0 * model.c_f_per_um)
         assert model.resistance(10.0) == pytest.approx(
-            10.0 * model.r_per_um)
+            10.0 * model.r_ohm_per_um)
 
     def test_rejects_negative_length(self):
         model = WireModel.for_node(node_by_name("45nm"))
@@ -40,7 +40,7 @@ class TestWireModel:
 
     def test_rejects_nonpositive_parameters(self):
         with pytest.raises(ParameterError):
-            WireModel(c_per_um=0.0, r_per_um=1.0)
+            WireModel(c_f_per_um=0.0, r_ohm_per_um=1.0)
 
 
 class TestElmore:

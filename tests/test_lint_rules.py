@@ -1,0 +1,401 @@
+"""Fixture tests for ``repro lint``: every rule, both polarities.
+
+Each test builds a miniature repository layout in ``tmp_path`` (the
+rules resolve cross-file facts — equivalence suites, the perf
+registry, benchmark literals — relative to a root) and asserts the
+rule fires on the offending snippet and stays quiet on the sanctioned
+one.  The suppression and baseline layers, the CLI exit codes, and the
+real repository's own cleanliness are covered at the end.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.lint import (Baseline, ProjectContext, lint_paths,
+                        lint_repository, rule_catalogue)
+from repro.lint.cli import run_lint_command
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: A perf.py with a one-entry registry for the RPR006 fixtures.
+FAKE_PERF = '''
+KNOWN_COUNTERS = frozenset({"poisson.solves"})
+DYNAMIC_COUNTER_PREFIXES = ("cache.",)
+'''
+
+
+def make_repo(tmp_path, files):
+    """Write ``files`` (rel path -> source) into a mini repo layout."""
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+    for required in ("src/repro", "tests", "benchmarks"):
+        (tmp_path / required).mkdir(parents=True, exist_ok=True)
+    return tmp_path
+
+
+def lint_fixture(tmp_path, files, baseline=None):
+    """Lint the ``src/repro`` members of a fixture repo."""
+    root = make_repo(tmp_path, files)
+    context = ProjectContext(root)
+    targets = [root / rel for rel in sorted(files)
+               if rel.startswith("src/repro/")]
+    return lint_paths(targets, context, baseline)
+
+
+def active_ids(report):
+    return sorted(f.rule_id for f in report.active)
+
+
+class TestRpr001FloatEquality:
+    def test_flags_float_literal_comparison(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            def f(x: float) -> bool:
+                return x == 1.5
+        """})
+        assert active_ids(report) == ["RPR001"]
+
+    def test_int_sentinel_and_isclose_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            import math
+
+            def f(x: float) -> bool:
+                return x == 0 or math.isclose(x, 1.5)
+        """})
+        assert active_ids(report) == []
+
+
+class TestRpr002BroadExcept:
+    def test_flags_swallowing_handler(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    return None
+        """})
+        assert active_ids(report) == ["RPR002"]
+
+    def test_narrow_and_reraising_handlers_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return None
+
+            def firewall():
+                try:
+                    return 1
+                except Exception as err:
+                    if str(err) == "known":
+                        return None
+                    raise
+        """})
+        assert active_ids(report) == []
+
+
+class TestRpr003Nondeterminism:
+    def test_flags_wall_clock_and_global_rng(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            import time
+            import numpy as np
+
+            def f():
+                return time.time() + np.random.normal()
+        """})
+        assert active_ids(report) == ["RPR003", "RPR003"]
+
+    def test_flags_random_import(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            import random
+        """})
+        assert active_ids(report) == ["RPR003"]
+
+    def test_seeded_generator_and_perf_counter_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            import time
+            import numpy as np
+
+            def f(seed: int):
+                rng = np.random.default_rng(np.random.SeedSequence(seed))
+                start = time.perf_counter()
+                return rng.normal(), time.perf_counter() - start
+        """})
+        assert active_ids(report) == []
+
+
+class TestRpr004SolverParity:
+    SOLVER_FUNC = """
+        def optimize_thing(x, solver: str = "batch"):
+            return x
+    """
+
+    def test_flags_uncovered_solver_switch(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/scaling/x.py": self.SOLVER_FUNC})
+        assert active_ids(report) == ["RPR004"]
+
+    def test_equivalence_coverage_satisfies(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/scaling/x.py": self.SOLVER_FUNC,
+            "tests/test_fake_equivalence.py": """
+                def test_parity():
+                    assert optimize_thing(1) == optimize_thing(
+                        1, solver="sequential")
+            """})
+        assert active_ids(report) == []
+
+    def test_flags_noncanonical_default(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/scaling/x.py": """
+            def optimize_thing(x, solver: str = "fast"):
+                return x
+        """})
+        assert active_ids(report) == ["RPR004"]
+        assert "canonical backends" in report.active[0].message
+
+
+class TestRpr005UnitSuffix:
+    def test_flags_unsuffixed_float_param_and_field(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/device/x.py": """
+            from dataclasses import dataclass
+
+            def drive(width: float) -> float:
+                return width
+
+            @dataclass
+            class Record:
+                charge: float
+        """})
+        assert active_ids(report) == ["RPR005", "RPR005"]
+
+    def test_suffixed_voltage_and_dimensionless_names_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/device/x.py": """
+            def drive(width_um: float, vdd: float, vth_n: float,
+                      ss_v_per_dec: float, k_gamma: float,
+                      body_factor: float, xtol: float) -> float:
+                return width_um
+        """})
+        assert active_ids(report) == []
+
+    def test_only_unit_suffix_packages_are_checked(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            def f(width: float) -> float:
+                return width
+        """})
+        assert active_ids(report) == []
+
+
+class TestRpr006PerfRegistry:
+    def test_flags_unregistered_counter(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/perf.py": FAKE_PERF,
+            "src/repro/analysis/x.py": """
+                from repro import perf
+
+                def f():
+                    perf.bump("poisson.sloves")
+            """})
+        assert active_ids(report) == ["RPR006"]
+
+    def test_registered_literal_and_dynamic_prefix_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/perf.py": FAKE_PERF,
+            "src/repro/analysis/x.py": """
+                from repro import perf
+
+                def f(name: str):
+                    perf.bump("poisson.solves")
+                    perf.bump(f"cache.{name}.hits")
+                    perf.bump("cache." + name + ".misses")
+            """})
+        assert active_ids(report) == []
+
+
+class TestRpr007BenchCoverage:
+    EXPERIMENT = """
+        def experiment(eid, title=""):
+            def deco(func):
+                return func
+            return deco
+
+        @experiment("fig99")
+        def run_fig99():
+            return None
+    """
+
+    def test_flags_unbenchmarked_experiment(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/experiments/x.py": self.EXPERIMENT})
+        assert active_ids(report) == ["RPR007"]
+
+    def test_bench_reference_satisfies(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/experiments/x.py": self.EXPERIMENT,
+            "benchmarks/test_bench_x.py": """
+                def test_bench_fig99(benchmark):
+                    benchmark(lambda: "fig99")
+            """})
+        assert active_ids(report) == []
+
+
+class TestRpr008MutableState:
+    def test_flags_mutable_default_and_module_state(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/scaling/x.py": """
+            memo = {}
+
+            def f(values=[]):
+                return values
+        """})
+        assert active_ids(report) == ["RPR008", "RPR008"]
+
+    def test_constant_style_none_default_and_dunder_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/scaling/x.py": """
+            __all__ = ["f"]
+            TABLE = {"a": 1}
+
+            def f(values=None):
+                return values or []
+        """})
+        assert active_ids(report) == []
+
+
+class TestSuppressionLayer:
+    OFFENDING = """
+        def f(x: float) -> bool:
+            return x == 1.5  # repro: noqa[RPR001] intentional fixture
+    """
+
+    def test_noqa_suppresses_named_rule(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/analysis/x.py": self.OFFENDING})
+        assert active_ids(report) == []
+        assert [f.rule_id for f in report.findings
+                if f.suppressed] == ["RPR001"]
+
+    def test_bare_noqa_is_not_honoured(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            def f(x: float) -> bool:
+                return x == 1.5  # repro: noqa
+        """})
+        assert active_ids(report) == ["RPR001"]
+
+    def test_noqa_for_other_rule_does_not_apply(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            def f(x: float) -> bool:
+                return x == 1.5  # repro: noqa[RPR008] wrong rule
+        """})
+        assert active_ids(report) == ["RPR001"]
+
+
+class TestBaselineLayer:
+    FILES = {"src/repro/analysis/x.py": """
+        def f(x: float) -> bool:
+            return x == 1.5
+    """}
+
+    def test_round_trip_silences_then_goes_stale(self, tmp_path):
+        first = lint_fixture(tmp_path, self.FILES)
+        assert active_ids(first) == ["RPR001"]
+
+        baseline = Baseline.from_findings(first.findings)
+        path = tmp_path / "lint-baseline.json"
+        baseline.save(path)
+        reloaded = Baseline.load(path)
+
+        second = lint_fixture(tmp_path, self.FILES, baseline=reloaded)
+        assert active_ids(second) == []
+        assert [f.rule_id for f in second.findings
+                if f.baselined] == ["RPR001"]
+
+        # Fix the code: the entry stops matching and is reported stale.
+        fixed = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            def f(x: float) -> bool:
+                return x == 0
+        """}, baseline=reloaded)
+        assert active_ids(fixed) == []
+        assert len(fixed.stale_baseline) == 1
+        assert not fixed.clean
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        plain = lint_fixture(tmp_path, self.FILES)
+        shifted = lint_fixture(tmp_path, {"src/repro/analysis/x.py": """
+            GAP = 1
+
+
+            def f(x: float) -> bool:
+                return x == 1.5
+        """})
+        assert (plain.findings[0].fingerprint
+                == shifted.findings[0].fingerprint)
+        assert plain.findings[0].line != shifted.findings[0].line
+
+    def test_missing_justification_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "findings": [{"fingerprint": "abc", "rule": "RPR001",
+                          "path": "x.py", "line_text": "x == 1.5",
+                          "justification": ""}],
+        }))
+        with pytest.raises(ParameterError, match="justification"):
+            Baseline.load(path)
+
+
+class TestCliAndRepo:
+    def test_repository_is_lint_clean(self):
+        report = lint_repository(REPO_ROOT)
+        assert report.clean, report.render_text()
+
+    def test_cli_exit_codes_and_json(self, tmp_path, capsys):
+        make_repo(tmp_path, {"src/repro/analysis/x.py": """
+            def f(x: float) -> bool:
+                return x == 1.5
+        """})
+        code = run_lint_command(root=str(tmp_path), output_format="json")
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["schema"] == 1
+        assert payload["active"] == 1
+        assert payload["findings"][0]["rule"] == "RPR001"
+
+        code = run_lint_command(root=str(tmp_path),
+                                update_baseline=True)
+        capsys.readouterr()
+        assert code == 0
+        assert (tmp_path / "lint-baseline.json").exists()
+
+        code = run_lint_command(root=str(tmp_path))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_usage_errors_exit_2(self, tmp_path, capsys):
+        code = run_lint_command(root=str(tmp_path))  # no src/repro
+        assert code == 2
+        make_repo(tmp_path, {})
+        code = run_lint_command(paths=["no/such/file.py"],
+                                root=str(tmp_path))
+        assert code == 2
+        capsys.readouterr()
+
+    def test_lint_subcommand_wired_into_main(self, capsys):
+        code = main(["lint", "--root", str(REPO_ROOT)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_syntax_error_reported_as_rpr000(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/analysis/x.py": "def broken(:\n"})
+        assert [f.rule_id for f in report.active] == ["RPR000"]
+
+    def test_rule_catalogue_covers_all_eight(self):
+        ids = [row[0] for row in rule_catalogue()]
+        assert ids == [f"RPR00{i}" for i in range(1, 9)]

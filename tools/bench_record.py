@@ -21,12 +21,19 @@ performance trajectory of the project; CI runs the same script with
 summary.  Set ``REPRO_BENCH_QUICK=1`` to skip the slow sequential-oracle
 benches (the CI quick mode).
 
+Beyond the per-suite snapshots, ``--history`` appends one compact
+JSONL record (suite, timestamp, git SHA, per-bench means) to
+``BENCH_history.jsonl``; committed over time, the file is the
+machine-readable performance trajectory the snapshots only sample.
+CI uploads it as the ``bench-trajectory`` artifact.
+
 Usage (from the repository root)::
 
     python tools/bench_record.py                      # BENCH_kernels.json
     python tools/bench_record.py --suite circuits     # BENCH_circuits.json
     python tools/bench_record.py --check              # run, don't write
     python tools/bench_record.py --suite circuits --compare
+    python tools/bench_record.py --suite flows --history
 """
 
 from __future__ import annotations
@@ -64,6 +71,9 @@ SUITES = {
 
 #: --compare fails when a bench's fresh mean exceeds committed mean * this.
 REGRESSION_FACTOR = 2.0
+
+#: Rolling trajectory log appended to by ``--history``.
+HISTORY_FILE = "BENCH_history.jsonl"
 
 
 def run_benches(json_path: pathlib.Path, targets: tuple[str, ...]) -> None:
@@ -138,6 +148,40 @@ def compare(summary: dict, committed_path: pathlib.Path) -> int:
     return 0
 
 
+def git_sha() -> str | None:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=REPO_ROOT, check=True,
+                             capture_output=True, text=True)
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return out.stdout.strip() or None
+
+
+def append_history(summary: dict, suite_name: str,
+                   path: pathlib.Path) -> dict:
+    """Append one trajectory record to ``BENCH_history.jsonl``.
+
+    The record is a flat, diff-friendly line — suite, timestamp, git
+    SHA, and the per-bench mean — so the file stays greppable and a
+    plotting script can reconstruct the trajectory without touching
+    the full snapshots.
+    """
+    record = {
+        "schema": 1,
+        "suite": suite_name,
+        "recorded_utc": summary["recorded_utc"],
+        "git_sha": git_sha(),
+        "machine": summary["machine"]["node"],
+        "mean_s": {name: stats["mean_s"]
+                   for name, stats in sorted(summary["benchmarks"].items())},
+    }
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run a bench suite and record its BENCH_*.json summary")
@@ -149,6 +193,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--compare", action="store_true",
                         help="fail on >2x mean regression vs the committed "
                              "summary (implies --check)")
+    parser.add_argument("--history", action="store_true",
+                        help=f"also append a trajectory record to "
+                             f"{HISTORY_FILE}")
     args = parser.parse_args(argv)
     suite = SUITES[args.suite]
     output = REPO_ROOT / suite["output"]
@@ -161,6 +208,11 @@ def main(argv: list[str] | None = None) -> int:
     if not summary["benchmarks"]:
         print("error: no benchmarks were collected", file=sys.stderr)
         return 1
+    if args.history:
+        history_path = REPO_ROOT / HISTORY_FILE
+        record = append_history(summary, args.suite, history_path)
+        print(f"appended {args.suite} trajectory record "
+              f"({len(record['mean_s'])} benches) to {history_path.name}")
     if args.compare:
         return compare(summary, output)
     if args.check:
