@@ -10,14 +10,19 @@ The sequential sub-V_th sweeps are the slow half; set
 
 import os
 
+import numpy as np
 import pytest
 
+from repro import perf
 from repro.cache import device_memo
-from repro.scaling.batch import bracket_memo
+from repro.device.mosfet import Polarity
+from repro.scaling.batch import bracket_memo, optimize_doping_stack
 from repro.scaling.multivth import derive_flavours
 from repro.scaling.roadmap import node_by_name
 from repro.scaling.sensitivity import headline_under_calibration
-from repro.scaling.subvth import build_sub_vth_family
+from repro.scaling.subvth import (HALO_RATIO_GRID, SS_TIE_TOLERANCE,
+                                  build_sub_vth_family,
+                                  optimize_doping_for_length)
 from repro.scaling.supervth import build_super_vth_family
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
@@ -70,6 +75,60 @@ def test_bench_multivth_menu_sequential(benchmark):
     menu = run_cold(benchmark, derive_flavours, node_by_name("45nm"), 47.0,
                     solver="sequential")
     assert menu["lvt"].vth_mv() < menu["hvt"].vth_mv()
+
+
+# -- tail-heavy length sweep ------------------------------------------------
+#
+# A wide gate-length sweep on one node: the short-channel lanes keep
+# bisecting long after the long-channel lanes have converged, so by the
+# late sweeps most of the stack is retired — exactly the regime the
+# active-set compression in ``repro.numerics`` targets.  The paired
+# sequential oracle records the before/after in BENCH_flows.json, and
+# the batch bench stores the measured live-lane fraction as extra_info.
+
+TAIL_LENGTHS_NM = np.geomspace(34.0, 90.0, 24)
+TAIL_IOFF_A_PER_UM = 100e-12
+TAIL_VDD_LEAK = 0.25
+
+
+def _tail_node():
+    return node_by_name("90nm")
+
+
+def _tail_sweep_batch():
+    return optimize_doping_stack(
+        _tail_node(), TAIL_LENGTHS_NM, [(Polarity.NFET, 1.0)],
+        HALO_RATIO_GRID, TAIL_IOFF_A_PER_UM, TAIL_VDD_LEAK,
+        SS_TIE_TOLERANCE)
+
+
+def _tail_sweep_sequential():
+    return [optimize_doping_for_length(
+                _tail_node(), float(l), ioff_target=TAIL_IOFF_A_PER_UM,
+                vdd_leak=TAIL_VDD_LEAK, solver="sequential")
+            for l in TAIL_LENGTHS_NM]
+
+
+def test_bench_doping_sweep_tail_batch(benchmark):
+    before = perf.snapshot()
+    rows = run_cold(benchmark, _tail_sweep_batch)
+    assert len(rows) == len(TAIL_LENGTHS_NM)
+    moved = perf.delta(before)
+    total = moved.get("numerics.total_lanes", 0)
+    assert total > 0
+    benchmark.extra_info["active_lane_fraction"] = round(
+        moved.get("numerics.active_lanes", 0) / total, 4)
+
+
+def test_bench_doping_sweep_tail_sequential(benchmark):
+    seq = run_cold(benchmark, _tail_sweep_sequential)
+    _cold()
+    batch = _tail_sweep_batch()
+    seq_n = np.array([d.profile.n_sub_cm3 for d in seq])
+    batch_n = np.array([row[0].profile.n_sub_cm3 for row in batch])
+    rel = float(np.max(np.abs(batch_n / seq_n - 1.0)))
+    assert rel <= 1e-9
+    benchmark.extra_info["max_rel_diff_vs_batch"] = rel
 
 
 def test_bench_sensitivity_rebuild_batch(benchmark):

@@ -29,6 +29,7 @@ cache directory (or call :func:`clear_disk_cache`).
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pathlib
 import threading
@@ -185,6 +186,73 @@ def store_family(tag: str, family) -> None:
     perf.bump("cache.family.stores")
 
 
+# -- on-disk bracket spill ----------------------------------------------------
+#
+# The scaling doping solver's warm-start brackets (repro.scaling.batch)
+# are scoped to one flow invocation, so cold invocations re-derive every
+# root from the full doping bounds.  When the disk cache is enabled the
+# solver spills each cold-converged final bracket here — keyed by the
+# same model schema hash as the family cache, so model edits silently
+# invalidate old brackets — and replays it on the next invocation.
+# Replayed brackets are already below the solver tolerance, which makes
+# replay byte-deterministic: the lane retires before its first sweep
+# with exactly the midpoint a cold solve would return.
+
+_BRACKET_TAG = "brackets"
+_BRACKET_TABLES: dict[pathlib.Path, dict[str, list[float]]] = {}
+_BRACKET_LOCK = threading.Lock()
+
+
+def load_brackets() -> dict[str, list[float]] | None:
+    """The on-disk bracket table, or None when the cache is disabled.
+
+    The table maps the solver's exact string keys to ``[lo, hi]``
+    bracket pairs.  It is read once per process per cache directory and
+    shared with :func:`store_brackets`, which mutates and persists it.
+    """
+    directory = cache_dir()
+    if directory is None:
+        return None
+    path = _entry_path(_BRACKET_TAG, directory)
+    with _BRACKET_LOCK:
+        table = _BRACKET_TABLES.get(path)
+        if table is None:
+            try:
+                payload = json.loads(path.read_text())
+                entries = (payload.get("entries", {})
+                           if payload.get("schema") == 1 else {})
+            except (OSError, ValueError, AttributeError):
+                entries = {}
+            table = {str(key): [float(pair[0]), float(pair[1])]
+                     for key, pair in entries.items()
+                     if isinstance(pair, (list, tuple)) and len(pair) == 2}
+            _BRACKET_TABLES[path] = table
+    return table
+
+
+def store_brackets(entries: dict[str, tuple[float, float]]) -> None:
+    """Merge solved brackets into the table and persist it atomically.
+
+    No-op when the cache is disabled or ``entries`` is empty.  JSON
+    serialises floats via ``repr`` (shortest round-trip), so replayed
+    brackets are bitwise the ones that were spilled.
+    """
+    table = load_brackets()
+    if table is None or not entries:
+        return
+    directory = cache_dir()
+    assert directory is not None
+    with _BRACKET_LOCK:
+        for key, (lo, hi) in entries.items():
+            table[str(key)] = [float(lo), float(hi)]
+        directory.mkdir(parents=True, exist_ok=True)
+        path = _entry_path(_BRACKET_TAG, directory)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(
+            {"schema": 1, "entries": table}, sort_keys=True))
+        tmp.replace(path)
+
+
 def clear_disk_cache() -> int:
     """Delete every entry in the disk cache; returns the count removed."""
     directory = cache_dir()
@@ -194,4 +262,6 @@ def clear_disk_cache() -> int:
     for path in directory.glob("*.json"):
         path.unlink(missing_ok=True)
         removed += 1
+    with _BRACKET_LOCK:
+        _BRACKET_TABLES.clear()
     return removed

@@ -47,6 +47,7 @@ from .. import perf
 from ..constants import thermal_voltage
 from ..device.iv import _ekv_f
 from ..errors import ParameterError
+from ..numerics import bisect_masked
 
 #: Solver switch values shared by every batched/scalar consumer pair.
 SOLVER_MODES = ("batch", "sequential")
@@ -77,31 +78,21 @@ def validate_solver(solver: str) -> None:  # repro: noqa[RPR004] the switch's ow
 
 def solve_balance_batch(balance, lo, hi, xtol: float = XTOL_DEFAULT
                         ) -> np.ndarray:
-    """Masked vectorised bisection on a monotone-increasing balance.
+    """Gathered vectorised bisection on a monotone-increasing balance.
 
-    ``balance(v)`` maps an array of candidate outputs to the signed
-    balance at each point; each bracket ``[lo_i, hi_i]`` must contain
-    the sign change.  Points whose bracket is already below ``xtol``
-    (rails pinned by the caller) never enter the active mask; the rest
-    retire as their brackets converge.  Returns bracket midpoints.
+    Thin circuit-layer wrapper over :func:`repro.numerics.bisect_masked`
+    preserving the ``circuit.balance_bisection_sweeps`` counter.
+    ``balance(v, idx)`` maps gathered candidate outputs (plus their lane
+    indices) to the signed balance at each live point; each bracket
+    ``[lo_i, hi_i]`` must contain the sign change.  Points whose
+    bracket is already below ``xtol`` (rails pinned by the caller)
+    never enter the active set; the rest retire as their brackets
+    converge.  Returns bracket midpoints.
     """
     if xtol <= 0.0:
         raise ParameterError("xtol must be positive")
-    lo = np.array(lo, dtype=float, copy=True)
-    hi = np.array(hi, dtype=float, copy=True)
-    active = (hi - lo) > xtol
-    max_sweeps = max(int(math.ceil(math.log2(
-        max(float((hi - lo).max(initial=0.0)), xtol) / xtol))) + 2, 1)
-    for _ in range(max_sweeps):
-        if not active.any():
-            break
-        mid = np.where(active, 0.5 * (lo + hi), lo)
-        negative = balance(mid) < 0.0
-        lo = np.where(active & negative, mid, lo)
-        hi = np.where(active & ~negative, mid, hi)
-        active &= (hi - lo) > xtol
-        perf.bump("circuit.balance_bisection_sweeps")
-    return 0.5 * (lo + hi)
+    return bisect_masked(balance, lo, hi, xtol=xtol,
+                         sweep_counter="circuit.balance_bisection_sweeps")
 
 
 class _VtcSystem:
@@ -143,23 +134,36 @@ class _VtcSystem:
         for key, (n_arr, p_arr) in pieces.items():
             setattr(self, key, np.concatenate([n_arr, p_arr]))
 
-    def balance(self, vout: np.ndarray) -> np.ndarray:
-        """``I_N - I_P`` at each point's candidate output voltage."""
+    def balance(self, vout: np.ndarray, idx=None) -> np.ndarray:
+        """``I_N - I_P`` at each point's candidate output voltage.
+
+        With ``idx`` (the root-solve core's gathered-lane indices) only
+        those points' stacked NFET/PFET legs are evaluated; the
+        arithmetic is elementwise, so the gathered result matches the
+        corresponding lanes of a full evaluation bitwise.
+        """
+        if idx is None:
+            sel: slice | np.ndarray = slice(None)
+            k = self.n
+        else:
+            sel = np.concatenate([idx, idx + self.n])
+            k = idx.shape[0]
         vds = np.concatenate([np.maximum(vout, 0.0),
                               np.maximum(self.vdd - vout, 0.0)])
-        dv = ((self.twob + vds) * self.e1
-              + 2.0 * np.sqrt(self.b * (self.b + vds)) * self.e2)
-        vth = self.vth0 - dv
-        vp = (self.vgs - vth) / self.m
-        i_f = _ekv_f(vp / self.vt)
-        i_r = _ekv_f((vp - vds) / self.vt)
-        current = self.ispec * (i_f - i_r)
+        b = self.b[sel]
+        dv = ((self.twob[sel] + vds) * self.e1[sel]
+              + 2.0 * np.sqrt(b * (b + vds)) * self.e2[sel])
+        vth = self.vth0[sel] - dv
+        vp = (self.vgs[sel] - vth) / self.m[sel]
+        i_f = _ekv_f(vp / self.vt[sel])
+        i_r = _ekv_f((vp - vds) / self.vt[sel])
+        current = self.ispec[sel] * (i_f - i_r)
         severity = i_f / (1.0 + i_f)
-        v_drive = np.maximum(vp, self.twovt)
+        v_drive = np.maximum(vp, self.twovt[sel])
         v_dsat = vds * v_drive / (vds + v_drive + 1e-12)
-        vsat_term = (self.mu * v_dsat) / self.vsat_leff
+        vsat_term = (self.mu[sel] * v_dsat) / self.vsat_leff[sel]
         current = current / (1.0 + severity * vsat_term)
-        return current[:self.n] - current[self.n:]
+        return current[:k] - current[k:]
 
 
 def _broadcast_inputs(vin, dvth_n, dvth_p):

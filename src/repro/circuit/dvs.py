@@ -20,9 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ParameterError
+from ..numerics import bisect_illinois
+from .batch import validate_solver
 from .chain import InverterChain
-from .energy import VminResult
+from .delay import K_D_DEFAULT
+from .energy import VminResult, _load_and_cycle, chain_energy_sweep
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,104 @@ def vdd_for_throughput(chain: InverterChain, f_target_hz: float,
         else:
             lo = mid
     return hi
+
+
+def chain_rate_batch(chain: InverterChain, vdd) -> np.ndarray:
+    """Cycle rates of the chain over an array of supplies [Hz].
+
+    Array counterpart of :func:`chain_rate_hz` through the shared
+    Eq. 4 kernel, so one evaluation serves every active lane of a
+    batched throughput solve.
+    """
+    vdd = np.asarray(vdd, dtype=float)
+    if np.any(vdd <= 0.0):
+        raise ParameterError("vdd must be positive")
+    _, cycle = _load_and_cycle(chain.stage, vdd, chain.n_stages,
+                               K_D_DEFAULT)
+    return 1.0 / cycle
+
+
+def vdd_for_throughput_batch(chain: InverterChain, f_targets_hz,
+                             vdd_lo: float = 0.10, vdd_hi: float = 1.2,
+                             tol: float = 1e-4) -> np.ndarray:
+    """Lowest supplies meeting each of an array of rate targets [V].
+
+    Batched port of :func:`vdd_for_throughput` through the gathered
+    core: the bisection runs in pure-midpoint mode (warmup pinned to
+    the sweep cap, so regula falsi never engages) and the returned
+    value is each lane's *hi* bracket end — exactly the scalar loop's
+    "lowest probed supply that met the target", not the midpoint.
+    Already-met targets return ``vdd_lo`` via a zero-width bracket.
+    """
+    targets = np.asarray(f_targets_hz, dtype=float)
+    if np.any(targets <= 0.0):
+        raise ParameterError("throughput target must be positive")
+    shape = targets.shape
+    flat = np.ravel(targets)
+    rate_lo = float(chain_rate_batch(chain, np.array([vdd_lo]))[0])
+    rate_hi = float(chain_rate_batch(chain, np.array([vdd_hi]))[0])
+    if rate_hi < flat.max():
+        raise ParameterError(
+            f"target {flat.max():.3g} Hz unreachable below "
+            f"{vdd_hi:.2f} V"
+        )
+    at_lo = rate_lo >= flat
+    lo = np.full_like(flat, vdd_lo)
+    hi = np.where(at_lo, vdd_lo, vdd_hi)
+
+    def residual(vdd: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        return chain_rate_batch(chain, vdd) - flat[idx]
+
+    result = bisect_illinois(
+        residual, lo, hi, xtol=tol,
+        warmup_sweeps=80, max_sweeps=80,
+        sweep_counter="circuit.dvs_bisection_sweeps",
+    )
+    return result.hi.reshape(shape)
+
+
+def dvs_curve(chain: InverterChain, f_targets_hz,
+              mep: VminResult | None = None, power_gated: bool = False,
+              solver: str = "batch") -> np.ndarray:
+    """Energy per delivered cycle for an array of rate targets [J].
+
+    Vectorised counterpart of mapping
+    :func:`energy_per_cycle_at_throughput` over ``f_targets_hz``: the
+    above-V_min targets share one gathered bisection for their supplies
+    (:func:`vdd_for_throughput_batch`) and one array energy sweep,
+    while below-V_min targets apply the duty-cycled V_min floor
+    arithmetic lane-wise.  ``solver="sequential"`` keeps the scalar
+    per-target path as the correctness oracle.
+    """
+    validate_solver(solver)
+    targets = np.asarray(f_targets_hz, dtype=float)
+    if solver == "sequential":
+        return np.array([
+            energy_per_cycle_at_throughput(chain, float(f), mep,
+                                           power_gated=power_gated).energy_j
+            for f in np.ravel(targets)
+        ]).reshape(targets.shape)
+    mep = chain.minimum_energy_point() if mep is None else mep
+    f_vmin = chain_rate_hz(chain, mep.vmin)
+    flat = np.ravel(targets)
+    energy = np.empty_like(flat)
+    above = flat >= f_vmin
+    above_i = np.flatnonzero(above)
+    if above_i.size:
+        vdds = vdd_for_throughput_batch(chain, flat[above_i])
+        energy[above_i] = chain_energy_sweep(
+            chain.stage, vdds, chain.n_stages, chain.activity)
+    below_i = np.flatnonzero(~above)
+    if below_i.size:
+        duty = flat[below_i] / f_vmin
+        energy[below_i] = mep.energy.total_j
+        if not power_gated:
+            rebias = chain.at_vdd(mep.vmin)
+            idle_power = (rebias.n_stages * rebias.stage.leakage_current()
+                          * mep.vmin)
+            energy[below_i] += (idle_power * (1.0 / flat[below_i])
+                                * (1.0 - duty))
+    return energy.reshape(targets.shape)
 
 
 def energy_per_cycle_at_throughput(chain: InverterChain,

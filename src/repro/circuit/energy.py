@@ -115,6 +115,25 @@ def chain_energy_sweep(inverter: Inverter, vdd_grid,
     if np.any(vdd <= 0.0):
         raise ParameterError("vdd must be positive")
     nfet, pfet = inverter.nfet, inverter.pfet
+    c_load, cycle = _load_and_cycle(inverter, vdd, n_stages, k_d)
+    i_leak = 0.5 * (nfet.ids(np.zeros_like(vdd), vdd)
+                    + pfet.ids(np.zeros_like(vdd), vdd))
+    dynamic = n_stages * activity * c_load * vdd ** 2
+    leakage = n_stages * i_leak * vdd * cycle
+    perf.bump("circuit.energy_sweep_points", int(vdd.size))
+    return dynamic + leakage
+
+
+def _load_and_cycle(inverter: Inverter, vdd: np.ndarray, n_stages: int,
+                    k_d: float) -> tuple[np.ndarray, np.ndarray]:
+    """FO1 load and chain cycle time ``N t_p`` over a V_dd array.
+
+    The vectorised Eq. 4 kernel shared by :func:`chain_energy_sweep`
+    and the DVS throughput solves (:mod:`repro.circuit.dvs`) — the same
+    load/on-current expressions as the scalar
+    :meth:`InverterChain.critical_path` path, evaluated arraywise.
+    """
+    nfet, pfet = inverter.nfet, inverter.pfet
     c_in = (nfet.capacitance.c_gate_effective(
                 vdd, nfet.iv.vth(vdd), nfet.slope_factor)
             + pfet.capacitance.c_gate_effective(
@@ -123,13 +142,7 @@ def chain_energy_sweep(inverter: Inverter, vdd_grid,
     c_load = 1 * c_in + c_out
     i_on = 0.5 * (nfet.ids(vdd, vdd) + pfet.ids(vdd, vdd))
     t_p = k_d * c_load * vdd / i_on
-    i_leak = 0.5 * (nfet.ids(np.zeros_like(vdd), vdd)
-                    + pfet.ids(np.zeros_like(vdd), vdd))
-    cycle = n_stages * t_p
-    dynamic = n_stages * activity * c_load * vdd ** 2
-    leakage = n_stages * i_leak * vdd * cycle
-    perf.bump("circuit.energy_sweep_points", int(vdd.size))
-    return dynamic + leakage
+    return c_load, n_stages * t_p
 
 
 @dataclass(frozen=True)

@@ -106,10 +106,13 @@ class SramCell:
             return vins, vouts
         vdd = self.vdd
 
-        def balance(vout: np.ndarray) -> np.ndarray:
+        all_points = np.arange(n_points)
+
+        def balance(vout: np.ndarray, idx: np.ndarray = all_points
+                    ) -> np.ndarray:
             v_pu = np.maximum(vdd - vout, 0.0)
-            i_pd = self.pulldown.ids(vins, np.maximum(vout, 0.0))
-            i_pu = self.pullup.ids(vdd - vins, v_pu)
+            i_pd = self.pulldown.ids(vins[idx], np.maximum(vout, 0.0))
+            i_pu = self.pullup.ids(vdd - vins[idx], v_pu)
             i_ax = self.access.ids(v_pu, v_pu)
             return i_pd - i_pu - i_ax
 

@@ -27,6 +27,7 @@ import numpy as np
 from scipy.special import erf
 
 from .. import perf
+from ..numerics import bisect_masked
 from ..constants import (
     CM_PER_NM,
     CM_PER_UM,
@@ -150,6 +151,24 @@ class ParameterStack:
         self.vsat = np.where(is_nfet, VSAT_ELECTRON, VSAT_HOLE)
         self._mu_temp = (self.temperature_k / 300.0) ** -2.2
 
+    def take(self, idx) -> "ParameterStack":
+        """The sub-stack at flat lane indices ``idx`` (1-D result).
+
+        Per-lane arrays are gathered, shared scalars are kept; the
+        result evaluates exactly like the corresponding lanes of the
+        full stack, which is what lets the root-solve core hand
+        residual callbacks only the active subset.
+        """
+        idx = np.asarray(idx)
+        clone = object.__new__(ParameterStack)
+        for name, value in self.__dict__.items():
+            if isinstance(value, np.ndarray) and value.shape == self.shape:
+                clone.__dict__[name] = np.ravel(value)[idx]
+            else:
+                clone.__dict__[name] = value
+        clone.shape = idx.shape
+        return clone
+
     # -- pieces of the scalar model, vectorised -----------------------------
 
     def _depletion_width(self, doping: np.ndarray) -> np.ndarray:
@@ -166,36 +185,50 @@ class ParameterStack:
                        ) -> tuple[np.ndarray, np.ndarray]:
         """The N_eff <-> W_dep fixed point, each point frozen at its
         *first* converged iterate (matching the scalar early return)."""
-        lateral = (peak * _SQRT_2PI * self.sigma_x_cm
-                   * erf(self.l_eff_cm / (_SQRT2 * self.sigma_x_cm))
-                   / self.l_eff_cm)
-        erf_a = erf((0.0 - self.halo_depth_cm) / (_SQRT2 * self.sigma_y_cm))
-        sy_factor = self.sigma_y_cm * math.sqrt(math.pi / 2.0)
+        shape = np.broadcast_shapes(n_sub.shape, self.shape)
 
-        n_eff = n_sub + lateral * 1.0
+        def flat(values: np.ndarray) -> np.ndarray:
+            return np.ravel(np.broadcast_to(values, shape))
+
+        lateral = flat(peak * _SQRT_2PI * self.sigma_x_cm
+                       * erf(self.l_eff_cm / (_SQRT2 * self.sigma_x_cm))
+                       / self.l_eff_cm)
+        erf_a = flat(erf((0.0 - self.halo_depth_cm)
+                         / (_SQRT2 * self.sigma_y_cm)))
+        sy_factor = flat(self.sigma_y_cm * math.sqrt(math.pi / 2.0))
+        halo_depth = flat(self.halo_depth_cm)
+        sigma_y = flat(self.sigma_y_cm)
+        n_sub_f = flat(n_sub)
+
+        # Active-set compression: only the unconverged lanes are carried
+        # through each iteration; a lane's iterate sequence is unchanged
+        # (the update is elementwise), so freezing at the first converged
+        # iterate lands on the same value as the scalar early return.
+        n_eff = n_sub_f + lateral * 1.0
         w_dep = self._depletion_width(n_eff)
         out_n = np.empty_like(n_eff)
         out_w = np.empty_like(w_dep)
-        active = np.ones(n_eff.shape, dtype=bool)
+        idx = np.arange(n_eff.shape[0])
         for _ in range(_FP_MAX_ITER):
-            erf_b = erf((w_dep - self.halo_depth_cm)
-                        / (_SQRT2 * self.sigma_y_cm))
-            vertical = sy_factor * (erf_b - erf_a) / w_dep
-            n_next = n_sub + lateral * vertical
+            erf_b = erf((w_dep - halo_depth[idx]) / (_SQRT2 * sigma_y[idx]))
+            vertical = sy_factor[idx] * (erf_b - erf_a[idx]) / w_dep
+            n_next = n_sub_f[idx] + lateral[idx] * vertical
             w_next = self._depletion_width(n_next)
             converged = np.abs(n_next - n_eff) <= _FP_TOL * n_eff
-            newly = active & converged
-            out_n[newly] = n_next[newly]
-            out_w[newly] = w_next[newly]
-            active = active & ~converged
-            if not np.any(active):
+            done = np.flatnonzero(converged)
+            out_n[idx[done]] = n_next[done]
+            out_w[idx[done]] = w_next[done]
+            keep = np.flatnonzero(~converged)
+            idx = idx[keep]
+            if not idx.shape[0]:
                 break
-            n_eff = np.where(active, n_next, n_eff)
-            w_dep = np.where(active, w_next, w_dep)
+            n_eff = n_next[keep]
+            w_dep = w_next[keep]
         # Non-converged stragglers keep their last iterate, as scalar.
-        out_n[active] = n_eff[active]
-        out_w[active] = w_dep[active]
-        return out_n, out_w
+        if idx.shape[0]:
+            out_n[idx] = n_eff
+            out_w[idx] = w_dep
+        return out_n.reshape(shape), out_w.reshape(shape)
 
     def metrics(self, n_sub_cm3, n_p_halo_cm3) -> "BatchDeviceMetrics":
         """Evaluate the stack at one (N_sub, N_p,halo) assignment."""
@@ -261,6 +294,21 @@ class BatchDeviceMetrics:
         self.slope_factor = slope_factor
         self.mu_low = mu_low
 
+    def take(self, idx) -> "BatchDeviceMetrics":
+        """The metrics of flat lanes ``idx`` (gathered stack included)."""
+        idx = np.asarray(idx)
+
+        def flat(values: np.ndarray) -> np.ndarray:
+            return np.ravel(values)[idx]
+
+        return BatchDeviceMetrics(
+            stack=self.stack.take(idx),
+            n_eff_cm3=flat(self.n_eff_cm3), w_dep_cm=flat(self.w_dep_cm),
+            vth0_v=flat(self.vth0_v), sce_barrier_v=flat(self.sce_barrier_v),
+            sce_e1=flat(self.sce_e1), sce_e2=flat(self.sce_e2),
+            slope_factor=flat(self.slope_factor), mu_low=flat(self.mu_low),
+        )
+
     @property
     def ss_v_per_dec(self) -> np.ndarray:
         """Inverse subthreshold slope [V/dec] (equals Eq. 2(b))."""
@@ -312,31 +360,32 @@ class BatchDeviceMetrics:
     def vth_sat_cc(self, vdd, xtol: float = 1e-9) -> np.ndarray:
         """Constant-current saturation V_th over the stack [V].
 
-        Vectorised bisection of the same increasing residual the scalar
+        Gathered bisection (:func:`repro.numerics.bisect_masked`) of
+        the same increasing residual the scalar
         :meth:`repro.device.mosfet.MOSFET.vth_sat_cc` hands to
         ``brentq`` (criterion ``I = VTH_CC_A * W/L_eff`` at
         ``V_ds = V_dd``), over the same [-0.5, 2.0] V bracket.
         """
-        target = VTH_CC_A * self.stack.aspect_ratio
+        shape = self.stack.shape
+        n = int(np.prod(shape, dtype=int))
+        vdd_flat = np.ravel(np.broadcast_to(np.asarray(vdd, float), shape))
+        target = np.ravel(np.broadcast_to(
+            VTH_CC_A * self.stack.aspect_ratio, shape))
+        flat = self.take(np.arange(n))
 
-        def residual(vgs):
-            return self.ids(vgs, vdd) - target
+        def residual(vgs: np.ndarray, idx: np.ndarray) -> np.ndarray:
+            return flat.take(idx).ids(vgs, vdd_flat[idx]) - target[idx]
 
-        lo = np.full(self.stack.shape, -0.5)
-        hi = np.full(self.stack.shape, 2.0)
-        if np.any(residual(lo) > 0.0) or np.any(residual(hi) < 0.0):
+        all_lanes = np.arange(n)
+        lo = np.full(n, -0.5)
+        hi = np.full(n, 2.0)
+        if np.any(residual(lo, all_lanes) > 0.0) \
+                or np.any(residual(hi, all_lanes) < 0.0):
             raise ParameterError(
                 "constant-current criterion not bracketed; device far "
                 "outside calibrated regime"
             )
-        active = (hi - lo) > xtol
-        while np.any(active):
-            mid = np.where(active, 0.5 * (lo + hi), lo)
-            above = active & (residual(mid) > 0.0)
-            hi = np.where(above, mid, hi)
-            lo = np.where(active & ~above, mid, lo)
-            active = active & ((hi - lo) > xtol)
-        return 0.5 * (lo + hi)
+        return bisect_masked(residual, lo, hi, xtol=xtol).reshape(shape)
 
 
 def device_metrics(l_poly_nm, t_ox_nm, n_sub_cm3, n_p_halo_cm3=0.0, *,

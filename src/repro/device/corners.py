@@ -18,10 +18,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Sequence
 
+import numpy as np
+
+from ..constants import CM_PER_NM
 from ..errors import ParameterError
 from ..materials.oxide import GateStack
-from .mosfet import MOSFET
+from .batch import BatchDeviceMetrics, ParameterStack
+from .mosfet import MOSFET, Polarity
 
 #: Default 3-sigma global variation magnitudes.
 TOX_SIGMA_PCT: float = 4.0
@@ -99,6 +104,61 @@ def at_corner(device: MOSFET, corner: Corner,
     )
 
 
+def corner_grid(devices: Sequence[MOSFET], corners: Sequence[Corner],
+                spec: CornerSpec | None = None) -> BatchDeviceMetrics:
+    """All ``devices x corners`` variants as one stacked evaluation.
+
+    Builds a :class:`~repro.device.batch.ParameterStack` over the full
+    product grid — lanes ordered device-major, so lane ``i * len(corners)
+    + j`` is ``devices[i]`` at ``corners[j]`` — and evaluates it in one
+    batched metrics pass.  The stack inputs are reconstructed from each
+    device's own geometry/stack/profile and shifted by the same
+    ``tox_factor`` / ``dope_factor`` multipliers :func:`at_corner`
+    applies, so grid metrics agree with the shifted scalar devices to
+    the batch layer's equivalence budget.
+    """
+    spec = spec or CornerSpec()
+    devices = tuple(devices)
+    corners = tuple(corners)
+    if not devices or not corners:
+        raise ParameterError("corner grid needs devices and corners")
+    for dev in devices:
+        if dev.vth_offset_v:
+            raise ParameterError(
+                "corner grids cannot carry per-device V_th offsets"
+            )
+        if dev.temperature_k != devices[0].temperature_k:
+            raise ParameterError("corner grid devices must share T")
+
+    signs = np.array([_SIGNS[c] for c in corners], dtype=float)
+    tox_factor = np.tile(1.0 + signs[:, 0] * spec.tox_sigma_pct / 100.0,
+                         len(devices))
+    dope_factor = np.tile(1.0 + signs[:, 1] * spec.doping_sigma_pct / 100.0,
+                          len(devices))
+
+    def per_device(values: Sequence[float]) -> np.ndarray:
+        return np.repeat(np.asarray(values, dtype=float), len(corners))
+
+    from . import geometry as geometry_mod
+    stack = ParameterStack(
+        l_poly_nm=per_device([d.geometry.l_poly_nm for d in devices]),
+        t_ox_nm=per_device([d.stack.thickness_cm / CM_PER_NM
+                            for d in devices]) * tox_factor,
+        is_nfet=np.repeat([d.polarity is Polarity.NFET for d in devices],
+                          len(corners)),
+        width_um=per_device([d.geometry.width_um for d in devices]),
+        reference_nm=per_device([
+            d.geometry.overlap_cm / geometry_mod.OVERLAP_FRACTION / CM_PER_NM
+            for d in devices
+        ]),
+        temperature_k=devices[0].temperature_k,
+    )
+    return stack.metrics(
+        per_device([d.profile.n_sub_cm3 for d in devices]) * dope_factor,
+        per_device([d.profile.n_p_halo_cm3 for d in devices]) * dope_factor,
+    )
+
+
 def corner_report(device: MOSFET, vdd: float,
                   spec: CornerSpec | None = None
                   ) -> dict[str, dict[str, float]]:
@@ -120,13 +180,26 @@ def corner_report(device: MOSFET, vdd: float,
 
 
 def ff_ss_delay_spread(device: MOSFET, vdd: float,
-                       spec: CornerSpec | None = None) -> float:
+                       spec: CornerSpec | None = None,
+                       solver: str = "batch") -> float:
     """FF-to-SS drive-current ratio at ``vdd`` — the corner delay spread.
 
     In subthreshold this is exponential in the corner V_th shift; at
     nominal supply it is a far tamer linear-ish factor.  The contrast
     is the classic sub-V_th sign-off headache.
+
+    ``solver="batch"`` (default) evaluates both corners in one
+    two-lane :func:`corner_grid` pass; ``solver="sequential"`` keeps
+    the per-corner scalar devices as the correctness oracle.
     """
-    ff = at_corner(device, Corner.FF, spec)
-    ss = at_corner(device, Corner.SS, spec)
-    return ff.i_on_per_um(vdd) / ss.i_on_per_um(vdd)
+    # Imported lazily: the device package re-exports this module, so a
+    # module-level import of the circuit layer would be circular.
+    from ..circuit.batch import validate_solver
+    validate_solver(solver)
+    if solver == "sequential":
+        ff = at_corner(device, Corner.FF, spec)
+        ss = at_corner(device, Corner.SS, spec)
+        return ff.i_on_per_um(vdd) / ss.i_on_per_um(vdd)
+    ion = corner_grid((device,), (Corner.FF, Corner.SS),
+                      spec).i_on_per_um(vdd)
+    return float(ion[0] / ion[1])

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..analysis.report import Comparison, ExperimentResult
 from ..analysis.series import Series
-from ..device.corners import Corner, at_corner, ff_ss_delay_spread
+from ..device.corners import Corner, corner_grid
 from .families import SUB_VTH_SUPPLY, sub_vth_family, super_vth_family
 from .registry import experiment
 
@@ -30,20 +30,24 @@ def run() -> ExperimentResult:
     sub = sub_vth_family().design("32nm")
     nominal_vdd = sup.node.vdd_nominal
 
-    spread_sup_sub = ff_ss_delay_spread(sup.nfet, SUB_VTH_SUPPLY)
-    spread_sub_sub = ff_ss_delay_spread(sub.nfet, SUB_VTH_SUPPLY)
-    spread_sup_nom = ff_ss_delay_spread(sup.nfet, nominal_vdd)
-    spread_sub_nom = ff_ss_delay_spread(sub.nfet, nominal_vdd)
+    # One (device x corner) parameter stack covers every metric below:
+    # lanes are device-major over [super, sub] x [FF, TT, SS].
+    corners = (Corner.FF, Corner.TT, Corner.SS)
+    grid = corner_grid((sup.nfet, sub.nfet), corners)
+    ion_sub = grid.i_on_per_um(SUB_VTH_SUPPLY).reshape(2, 3)
+    ion_nom = grid.i_on_per_um(nominal_vdd).reshape(2, 3)
+    ff, ss = 0, 2
+
+    spread_sup_sub = float(ion_sub[0, ff] / ion_sub[0, ss])
+    spread_sub_sub = float(ion_sub[1, ff] / ion_sub[1, ss])
+    spread_sup_nom = float(ion_nom[0, ff] / ion_nom[0, ss])
+    spread_sub_nom = float(ion_nom[1, ff] / ion_nom[1, ss])
 
     # Corner V_th trajectories for the series payload.
-    corners = (Corner.FF, Corner.TT, Corner.SS)
     idx = np.array([0.0, 1.0, 2.0])
-    vth_sup = np.array([
-        1000.0 * at_corner(sup.nfet, c).vth(SUB_VTH_SUPPLY) for c in corners
-    ])
-    vth_sub = np.array([
-        1000.0 * at_corner(sub.nfet, c).vth(SUB_VTH_SUPPLY) for c in corners
-    ])
+    vth_grid = 1000.0 * grid.vth(SUB_VTH_SUPPLY).reshape(2, 3)
+    vth_sup = vth_grid[0]
+    vth_sub = vth_grid[1]
 
     series = (
         Series(label="Vth by corner (super-vth)", x=idx, y=vth_sup,

@@ -19,7 +19,7 @@ import numpy as np
 from ..analysis.report import Comparison, ExperimentResult
 from ..analysis.series import Series
 from ..circuit.chain import InverterChain
-from ..circuit.dvs import chain_rate_hz, energy_per_cycle_at_throughput
+from ..circuit.dvs import chain_rate_hz, dvs_curve
 from .families import sub_vth_family, super_vth_family
 from .registry import experiment
 
@@ -33,11 +33,9 @@ def _curve(design, power_gated: bool = False
     mep = chain.minimum_energy_point()
     f_vmin = chain_rate_hz(chain, mep.vmin)
     rates = np.array([m * f_vmin for m in RATE_MULTIPLES])
-    energies = np.array([
-        energy_per_cycle_at_throughput(chain, float(f), mep,
-                                       power_gated=power_gated).energy_j
-        for f in rates
-    ])
+    # All above-V_min probes share one gathered supply bisection; the
+    # duty-cycled floor lanes are pure array arithmetic.
+    energies = dvs_curve(chain, rates, mep, power_gated=power_gated)
     return rates, energies, f_vmin
 
 
@@ -74,8 +72,8 @@ def run() -> ExperimentResult:
     probe = 2.0 * lo
     chain_sup = InverterChain(sup.inverter(0.3))
     chain_sub = InverterChain(sub.inverter(0.3))
-    e_slow_sup = energy_per_cycle_at_throughput(chain_sup, probe).energy_j
-    e_slow_sub = energy_per_cycle_at_throughput(chain_sub, probe).energy_j
+    e_slow_sup = float(dvs_curve(chain_sup, np.array([probe]))[0])
+    e_slow_sub = float(dvs_curve(chain_sub, np.array([probe]))[0])
     gated_advantage = 1.0 - e_sub_gated[0] / e_sup_gated[0]
 
     comparisons = (

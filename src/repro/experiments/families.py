@@ -29,19 +29,22 @@ def _cached_family(tag: str, build: Callable[[bool], DeviceFamily],
         tag = f"{tag}-130"
     family = load_family(tag)
     if family is None:
-        # Reattribute the optimiser's scaling.* counters to a
-        # scaling.family.* namespace: which experiment happens to
+        # Reattribute the optimiser's scaling.* / numerics.* counters
+        # to a *.family.* namespace: which experiment happens to
         # trigger the lazy family build depends on run order, and the
         # per-experiment footers only stay deterministic if family
         # construction work is not billed to that experiment.
         before = perf.snapshot()
         family = build(include_130nm)
         for name, inc in perf.delta(before).items():
-            if name.startswith("scaling."):
-                # Reverse the observed counters, then re-bill them to
-                # the family namespace.
-                perf.bump(name, -inc)  # repro: noqa[RPR006] startswith guard pins the family
-                perf.bump("scaling.family." + name[len("scaling."):], inc)
+            for prefix in ("scaling.", "numerics."):
+                if name.startswith(prefix):
+                    # Reverse the observed counters, then re-bill them
+                    # to the family namespace.
+                    perf.bump(name, -inc)  # repro: noqa[RPR006] startswith guard pins the family
+                    perf.bump(prefix + "family."  # repro: noqa[RPR006] prefix is scaling./numerics., both registered families
+                              + name[len(prefix):], inc)
+                    break
         store_family(tag, family)
     return family
 

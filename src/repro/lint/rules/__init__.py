@@ -12,13 +12,14 @@ module            rules                                       motivated by
 ``naming``        RPR005 SI-unit suffixes                     PR 0
 ``perf_counters`` RPR006 counter registry                     PRs 1-4
 ``state``         RPR008 mutable defaults / module state      PR 4
+``rootsolve``     RPR009 hand-rolled masked solve loops       PR 6
 ================  ==========================================  =============
 """
 
 from __future__ import annotations
 
 from . import (determinism, exceptions, naming, numerics, parity,
-               perf_counters, state)
+               perf_counters, rootsolve, state)
 
 __all__ = ["determinism", "exceptions", "naming", "numerics", "parity",
-           "perf_counters", "state"]
+           "perf_counters", "rootsolve", "state"]

@@ -1,0 +1,74 @@
+"""Array-namespace resolution and gather/scatter primitives.
+
+The root-solve core is written against the small intersection of the
+array API standard that numpy, cupy and jax.numpy all provide.  The
+namespace is resolved per call — ``array_namespace`` duck-types the
+operands via ``__array_namespace__`` and falls back to numpy — so the
+backend is chosen by the arrays the caller passes in, never by global
+state.
+
+``scatter`` hides the one real divergence between backends: in-place
+assignment (numpy, cupy) vs functional ``.at[idx].set`` updates (jax).
+Callers must treat the input array as consumed and use the return
+value, which makes the same code correct under both disciplines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["array_namespace", "as_float_copy", "flatnonzero", "gather",
+           "scatter"]
+
+
+def array_namespace(*arrays, xp=None):
+    """The array module the solver should compute with.
+
+    An explicit ``xp`` wins; otherwise the first operand exposing
+    ``__array_namespace__`` chooses (numpy >= 2, cupy >= 13, jax all
+    report themselves); plain scalars and lists fall back to numpy.
+    """
+    if xp is not None:
+        return xp
+    for arr in arrays:
+        probe = getattr(arr, "__array_namespace__", None)
+        if probe is not None:
+            return probe()
+    return np
+
+
+def as_float_copy(xp, values):
+    """A float64, definitely-owned copy of ``values`` under ``xp``.
+
+    The solvers mutate their bracket arrays through :func:`scatter`,
+    so they must never alias caller memory.
+    """
+    if xp is np:
+        return np.array(values, dtype=float, copy=True)
+    return xp.asarray(values, dtype=xp.float64, copy=True)
+
+
+def flatnonzero(xp, mask):
+    """Indices of the true lanes of a 1-D boolean mask."""
+    fn = getattr(xp, "flatnonzero", None)
+    if fn is not None:
+        return fn(mask)
+    return xp.nonzero(xp.reshape(mask, (-1,)))[0]
+
+
+def gather(arr, idx):
+    """The lanes ``idx`` of ``arr`` (integer take; works on every backend)."""
+    return arr[idx]
+
+
+def scatter(arr, idx, values):
+    """``arr`` with lanes ``idx`` replaced by ``values``.
+
+    In-place under numpy/cupy, functional under jax (``.at`` update);
+    either way the caller must keep using the *returned* array.
+    """
+    at = getattr(arr, "at", None)
+    if at is not None:
+        return at[idx].set(values)
+    arr[idx] = values
+    return arr

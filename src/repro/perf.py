@@ -35,6 +35,8 @@ Counter names in use
     V_dd grid points evaluated by the vectorised energy sweep.
 ``circuit.butterfly_batch_solves``
     Vectorised largest-square butterfly-SNM solves.
+``circuit.dvs_bisection_sweeps``
+    Gathered bisection sweeps inside the batched DVS supply solver.
 ``scaling.doping_batch_solves`` / ``scaling.doping_batch_points``
     Batched doping root-solves and the candidate points they stacked
     (deterministic: fixed by the optimisation grid sizes).
@@ -48,9 +50,18 @@ Counter names in use
     Warm-start bracket cache of the batched doping solver.
 ``cache.family.stores``
     Optimised families persisted to the on-disk cache.
-``scaling.family.*``
-    Flow-level re-attribution of the ``scaling.*`` counters by
-    :mod:`repro.experiments.families` (same meanings, family scope).
+``scaling.bracket_warm_hits`` / ``scaling.bracket_cold_misses``
+    Disk-layer warm starts of the doping solver: lanes whose replayed
+    bracket survived sign verification vs lanes solved cold from the
+    full bounds (bumped only when the on-disk cache is enabled).
+``numerics.active_lanes`` / ``numerics.total_lanes``
+    Lanes the shared root-solve core actually evaluated vs lanes
+    carried, summed per sweep; their ratio is the measured active-set
+    compression (run-order sensitive via warm starts).
+``scaling.family.*`` / ``numerics.family.*``
+    Flow-level re-attribution of the ``scaling.*`` / ``numerics.*``
+    counters by :mod:`repro.experiments.families` (same meanings,
+    family scope).
 
 The registry below mirrors this list; ``repro lint`` (rule RPR006)
 statically checks every ``perf.bump``/``perf.get`` call site against
@@ -83,16 +94,22 @@ KNOWN_COUNTERS: frozenset[str] = frozenset({
     "circuit.delay_batch_points",
     "circuit.energy_sweep_points",
     "circuit.butterfly_batch_solves",
+    "circuit.dvs_bisection_sweeps",
     "scaling.doping_batch_solves",
     "scaling.doping_batch_points",
     "scaling.doping_bisection_sweeps",
     "scaling.device_eval_points",
+    "scaling.bracket_warm_hits",
+    "scaling.bracket_cold_misses",
+    "numerics.active_lanes",
+    "numerics.total_lanes",
 })
 
 #: Name families that may be built dynamically (f-string/concat call
 #: sites): the cache layer parameterises ``cache.<name>.*`` on the memo
 #: name, and the family flows re-attribute under ``scaling.family.*``.
-DYNAMIC_COUNTER_PREFIXES: tuple[str, ...] = ("cache.", "scaling.family.")
+DYNAMIC_COUNTER_PREFIXES: tuple[str, ...] = (
+    "cache.", "scaling.family.", "numerics.family.")
 
 _COUNTERS: Counter[str] = Counter()
 
@@ -139,11 +156,20 @@ def reset() -> None:
 
 
 def report() -> str:
-    """Human-readable counter table, sorted by name."""
+    """Human-readable counter table, sorted by name.
+
+    When the shared root-solve core ran, a summary line reports the
+    measured active-set compression (evaluated vs carried lanes).
+    """
     if not _COUNTERS:
         return "perf counters: (none recorded)"
     width = max(len(name) for name in _COUNTERS)
     lines = ["perf counters:"]
     for name in sorted(_COUNTERS):
         lines.append(f"  {name:<{width}}  {_COUNTERS[name]:>12,}")
+    total = _COUNTERS["numerics.total_lanes"]
+    if total:
+        active = _COUNTERS["numerics.active_lanes"]
+        lines.append(f"  active-set compression: {active / total:.1%} "
+                     f"of carried lanes evaluated")
     return "\n".join(lines)

@@ -4,13 +4,14 @@ The scalar scaling flows (:mod:`repro.scaling.supervth`,
 :mod:`repro.scaling.subvth`) call ``brentq`` once per (length,
 halo-ratio, polarity) candidate, constructing a full
 :class:`repro.device.mosfet.MOSFET` per residual evaluation.  This
-module replaces those loops with a masked vectorised bisection in
-``log10(doping)`` over the whole candidate stack at once — the same
-masked-bisection pattern as :func:`repro.circuit.batch.solve_balance_batch`
-— on top of the parameter-axis device evaluation in
-:mod:`repro.device.batch`.  Scalar MOSFETs are constructed only at the
-converged roots (the designs the caller keeps anyway), so the selection
-rules and returned objects are shared with the sequential paths.
+module replaces those loops with a gathered bracketing solve in
+``log10(doping)`` over the whole candidate stack at once — delegated to
+the shared root-solve core (:func:`repro.numerics.bisect_illinois`),
+which evaluates the residual only on the still-active lanes — on top of
+the parameter-axis device evaluation in :mod:`repro.device.batch`.
+Scalar MOSFETs are constructed only at the converged roots (the designs
+the caller keeps anyway), so the selection rules and returned objects
+are shared with the sequential paths.
 
 Warm starts: converged roots are cached per (flow, node, polarity,
 halo-ratio, length-bucket, target, calibration) in an LRU keyed bracket
@@ -21,6 +22,15 @@ only cost performance, never correctness.  The cache is scoped to one
 flow invocation — every top-level flow entry calls
 :func:`reset_warm_starts` — so flow results never depend on what ran
 earlier in the process (see that function's docstring).
+
+When the on-disk cache is enabled (:func:`repro.cache.cache_dir`), the
+solver additionally spills each cold-converged final bracket to disk
+under an exact per-candidate key and replays it on the next process's
+cold invocation.  A replayed bracket is already below ``xtol``, so the
+lane retires before its first sweep with exactly the midpoint a cold
+solve would produce — byte-determinism survives the shortcut.  The
+disk layer reports ``scaling.bracket_warm_hits`` /
+``scaling.bracket_cold_misses``.
 
 The residual ``log(I_off(N)/target)`` is monotone *decreasing* in
 ``log10(N)`` (more doping -> higher V_th -> less leakage), which gives
@@ -43,8 +53,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .. import perf
-from ..cache import LRUMemo
+from ..cache import LRUMemo, load_brackets, store_brackets
 from ..circuit.batch import SOLVER_MODES, validate_solver
+from ..numerics import WarmStarts, bisect_illinois
 from ..device import geometry as geometry_mod
 from ..device import subthreshold as subthreshold_mod
 from ..device import threshold as threshold_mod
@@ -160,6 +171,23 @@ def _bracket_key(flow: str, req: DopingSolveRequest,
     )
 
 
+def _disk_key(flow: str, req: DopingSolveRequest, extra_exact,
+              lo_bound: float, hi_bound: float, xtol: float) -> str:
+    """Exact on-disk bracket key (:func:`repro.cache.store_brackets`).
+
+    The in-process memo key buckets lengths and rounds ratios so nearby
+    candidates can *share* approximate brackets; a disk bracket is
+    replayed verbatim, so its key appends every exact value the
+    residual depends on (``extra_exact`` carries the halo flow's exact
+    N_sub).  ``repr`` of the tuple is deterministic: floats serialise
+    via shortest round-trip repr.
+    """
+    return repr(_bracket_key(flow, req) + (
+        req.l_poly_nm, req.width_um, req.halo_ratio, extra_exact,
+        lo_bound, hi_bound, xtol,
+    ))
+
+
 #: Pure-bisection sweeps before the Illinois polish kicks in.  The
 #: leakage residual spans tens of log units across the full doping
 #: bounds (exponential tails), where false position is badly skewed;
@@ -170,21 +198,32 @@ _BISECTION_WARMUP_SWEEPS: int = 8
 _MAX_SWEEPS: int = 80
 
 
-def solve_log_doping(residual: Callable[[np.ndarray], np.ndarray],
+def solve_log_doping(residual: Callable[[np.ndarray, np.ndarray], np.ndarray],
                      keys: Sequence, lo_bound: float, hi_bound: float,
-                     xtol: float = XTOL_LOG10) -> DopingSolveResult:
-    """Masked bracketing solve for log10-doping roots over a stack.
+                     xtol: float = XTOL_LOG10,
+                     disk_keys: Sequence[str | None] | None = None
+                     ) -> DopingSolveResult:
+    """Gathered bracketing solve for log10-doping roots over a stack.
 
-    ``residual`` maps an array of log10 dopings (one per point) to the
-    array of log-leakage residuals and must be monotone decreasing per
+    ``residual(log_n, idx)`` maps gathered log10 dopings (plus their
+    lane indices, for slicing per-point parameters) to the log-leakage
+    residuals of the live points and must be monotone decreasing per
     point.  ``keys`` (one per point; ``None`` opts out) index the
-    warm-start bracket cache.
+    warm-start bracket cache; ``disk_keys`` (exact string keys) opt
+    points into the on-disk bracket spill when the disk cache is
+    enabled.
 
-    A few pure-bisection sweeps shrink every bracket into the
-    near-linear regime, then a safeguarded Illinois (modified false
-    position) iteration finishes superlinearly; any non-finite or
-    out-of-bracket proposal falls back to the midpoint, so the bracket
-    shrinks every sweep and the result is never worse than bisection.
+    The iteration is :func:`repro.numerics.bisect_illinois` on the
+    negated (monotone-increasing) residual — IEEE negation is exact, so
+    the iterate sequence matches the retired in-module loop bitwise: a
+    few pure-bisection sweeps shrink every bracket into the near-linear
+    regime, then the safeguarded Illinois polish finishes superlinearly.
+
+    Warm-start priority per point: an in-process memo root (bracketed
+    to ``+/- WARM_MARGIN_LOG10``) wins over a disk-spilled bracket, so
+    results never depend on whether the disk layer is populated — a
+    replayed disk bracket is already below ``xtol`` and retires with
+    exactly the cold solve's midpoint.
     """
     n = len(keys)
     lo_full = np.full(n, float(lo_bound))
@@ -192,73 +231,66 @@ def solve_log_doping(residual: Callable[[np.ndarray], np.ndarray],
     perf.bump("scaling.doping_batch_solves")
     perf.bump("scaling.doping_batch_points", n)
 
-    lo = lo_full.copy()
-    hi = hi_full.copy()
+    disk_table = load_brackets() if disk_keys is not None else None
+
+    wlo = lo_full.copy()
+    whi = hi_full.copy()
     warm = np.zeros(n, dtype=bool)
+    from_disk = np.zeros(n, dtype=bool)
     for i, key in enumerate(keys):
         root = None if key is None else bracket_memo.get(key)
-        if root is None:
+        if root is not None:
+            wl = max(lo_full[i], root - WARM_MARGIN_LOG10)
+            wh = min(hi_full[i], root + WARM_MARGIN_LOG10)
+            if wl < wh:
+                wlo[i], whi[i] = wl, wh
+                warm[i] = True
             continue
-        wl = max(lo_full[i], root - WARM_MARGIN_LOG10)
-        wh = min(hi_full[i], root + WARM_MARGIN_LOG10)
-        if wl < wh:
-            lo[i], hi[i] = wl, wh
+        if disk_table is None or disk_keys[i] is None:
+            continue
+        entry = disk_table.get(disk_keys[i])
+        if entry is None:
+            continue
+        dlo, dhi = entry
+        if lo_bound <= dlo <= dhi <= hi_bound and (dhi - dlo) <= xtol:
+            wlo[i], whi[i] = dlo, dhi
             warm[i] = True
+            from_disk[i] = True
 
-    rl = residual(lo)
-    rh = residual(hi)
-    # Stale warm brackets (no longer straddling) fall back to the full
-    # bounds: one extra residual pass, never a wrong root.
-    stale = warm & ~((rl >= 0.0) & (rh <= 0.0))
-    if np.any(stale):
-        lo = np.where(stale, lo_full, lo)
-        hi = np.where(stale, hi_full, hi)
-        rl = np.where(stale, residual(lo), rl)
-        rh = np.where(stale, residual(hi), rh)
-        warm = warm & ~stale
-    # Reported bound residuals: a sign-verified warm bracket proves the
-    # full bounds straddle too (the residual is monotone), so warm
-    # points report the sentinels rather than re-evaluating the bounds.
-    ret_r_lo = np.where(warm, np.inf, rl)
-    ret_r_hi = np.where(warm, -np.inf, rh)
+    def increasing(log_n: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        return -residual(log_n, idx)
 
-    feasible = (rl >= 0.0) & (rh <= 0.0)
-    active = feasible & ((hi - lo) > xtol)
-    # Illinois side memory: +1 / -1 when the last two updates replaced
-    # the same bracket end, which triggers the residual-halving trick.
-    side = np.zeros(n, dtype=np.int8)
-    sweeps = 0
-    while np.any(active) and sweeps < _MAX_SWEEPS:
-        perf.bump("scaling.doping_bisection_sweeps")
-        mid = 0.5 * (lo + hi)
-        x = mid
-        if sweeps >= _BISECTION_WARMUP_SWEEPS:
-            with np.errstate(invalid="ignore", divide="ignore"):
-                falsi = (lo * rh - hi * rl) / (rh - rl)
-            x = np.where(np.isfinite(falsi) & (falsi > lo) & (falsi < hi),
-                         falsi, mid)
-        x = np.where(active, x, lo)
-        r = residual(x)
-        go_up = active & (r > 0.0)
-        go_dn = active & ~go_up
-        # Illinois: halve the retained end's residual when the same end
-        # survives twice in a row, preventing false-position stagnation.
-        rh = np.where(go_up & (side == 1), 0.5 * rh, rh)
-        rl = np.where(go_dn & (side == -1), 0.5 * rl, rl)
-        side = np.where(go_up, 1, np.where(go_dn, -1, side)).astype(np.int8)
-        lo = np.where(go_up, x, lo)
-        rl = np.where(go_up, r, rl)
-        hi = np.where(go_dn, x, hi)
-        rh = np.where(go_dn, r, rh)
-        active = active & ((hi - lo) > xtol)
-        sweeps += 1
+    result = bisect_illinois(
+        increasing, lo_full, hi_full, xtol=xtol,
+        warm_starts=WarmStarts(lo=wlo, hi=whi, mask=warm),
+        warmup_sweeps=_BISECTION_WARMUP_SWEEPS, max_sweeps=_MAX_SWEEPS,
+        sweep_counter="scaling.doping_bisection_sweeps",
+    )
 
-    root = 0.5 * (lo + hi)
+    root = result.root
+    feasible = result.feasible
     for i, key in enumerate(keys):
         if key is not None and feasible[i]:
             bracket_memo.put(key, float(root[i]))
+
+    if disk_table is not None:
+        cold = ~result.warm_used
+        perf.bump("scaling.bracket_warm_hits",
+                  int(np.count_nonzero(from_disk & result.warm_used)))
+        perf.bump("scaling.bracket_cold_misses",
+                  int(np.count_nonzero(cold)))
+        # Spill only fully cold, converged lanes: their final bracket
+        # is below xtol, so replaying it is byte-deterministic.
+        spill = {
+            disk_keys[i]: (float(result.lo[i]), float(result.hi[i]))
+            for i in range(n)
+            if (disk_keys[i] is not None and cold[i] and feasible[i]
+                and (result.hi[i] - result.lo[i]) <= xtol)
+        }
+        store_brackets(spill)
+
     return DopingSolveResult(root_log10=root, feasible=feasible,
-                             r_lo=ret_r_lo, r_hi=ret_r_hi)
+                             r_lo=-result.r_lo, r_hi=-result.r_hi)
 
 
 def _stack_for(reqs: Sequence[DopingSolveRequest]) -> ParameterStack:
@@ -279,14 +311,15 @@ def solve_substrate_stack(reqs: Sequence[DopingSolveRequest],
     targets = np.array([r.ioff_target for r in reqs])
     vdds = np.array([r.vdd_leak for r in reqs])
 
-    def residual(log_n: np.ndarray) -> np.ndarray:
+    def residual(log_n: np.ndarray, idx: np.ndarray) -> np.ndarray:
         n_sub = 10.0 ** log_n
-        metrics = stack.metrics(n_sub, ratios * n_sub)
-        return np.log(metrics.i_off_per_um(vdds) / targets)
+        metrics = stack.take(idx).metrics(n_sub, ratios[idx] * n_sub)
+        return np.log(metrics.i_off_per_um(vdds[idx]) / targets[idx])
 
     keys = [_bracket_key(flow, r) for r in reqs]
     lo, hi = (math.log10(b) for b in N_SUB_BOUNDS)
-    return solve_log_doping(residual, keys, lo, hi)
+    disk_keys = [_disk_key(flow, r, None, lo, hi, XTOL_LOG10) for r in reqs]
+    return solve_log_doping(residual, keys, lo, hi, disk_keys=disk_keys)
 
 
 def _build_device(req: DopingSolveRequest, n_sub: float,
@@ -417,15 +450,17 @@ def _solve_halo_stack(reqs: Sequence[DopingSolveRequest],
     targets = np.array([r.ioff_target for r in reqs])
     vdds = np.array([r.vdd_leak for r in reqs])
 
-    def residual(log_n: np.ndarray) -> np.ndarray:
-        metrics = stack.metrics(n_sub, 10.0 ** log_n)
-        return np.log(metrics.i_off_per_um(vdds) / targets)
+    def residual(log_n: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        metrics = stack.take(idx).metrics(n_sub[idx], 10.0 ** log_n)
+        return np.log(metrics.i_off_per_um(vdds[idx]) / targets[idx])
 
     keys = [_bracket_key("supervth_halo", r,
                          extra=round(math.log10(ns), 6))
             for r, ns in zip(reqs, n_sub)]
     lo, hi = (math.log10(b) for b in N_HALO_BOUNDS)
-    return solve_log_doping(residual, keys, lo, hi)
+    disk_keys = [_disk_key("supervth_halo", r, float(ns), lo, hi, XTOL_LOG10)
+                 for r, ns in zip(reqs, n_sub)]
+    return solve_log_doping(residual, keys, lo, hi, disk_keys=disk_keys)
 
 
 def super_vth_halo(node: NodeSpec, polarity: Polarity, width_um: float,

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..circuit.batch import validate_solver
 from ..circuit.inverter import Inverter
+from ..device.batch import ParameterStack
 from ..device.mosfet import MOSFET
 from ..errors import ParameterError
 from .roadmap import NodeSpec
@@ -48,16 +52,23 @@ class DeviceDesign:
         """FO1 load of the design's inverter [F] (the C_L in Eqs. 6-8)."""
         return self.inverter(self.vdd).load_capacitance(fanout=1)
 
-    def summary(self) -> dict[str, float]:
-        """The paper's table metrics for this design (NFET-referenced)."""
+    def summary(self, vth_sat_v: float | None = None) -> dict[str, float]:
+        """The paper's table metrics for this design (NFET-referenced).
+
+        ``vth_sat_v`` lets :meth:`DeviceFamily.table_rows` substitute a
+        batch-solved constant-current V_th; by default the design's own
+        scalar (brentq) extraction is used.
+        """
         vdd = self.vdd
+        if vth_sat_v is None:
+            vth_sat_v = self.nfet.vth_sat_cc(vdd)
         return {
             "l_poly_nm": self.nfet.geometry.l_poly_nm,
             "t_ox_nm": self.nfet.stack.thickness_cm * 1e7,
             "n_sub_cm3": self.nfet.profile.n_sub_cm3,
             "n_halo_cm3": self.nfet.profile.n_halo_net_cm3,
             "vdd": vdd,
-            "vth_sat_mv": 1000.0 * self.nfet.vth_sat_cc(vdd),
+            "vth_sat_mv": 1000.0 * vth_sat_v,
             "ioff_pa_per_um": 1e12 * self.nfet.i_off_per_um(vdd),
             "ss_mv_per_dec": self.nfet.ss_mv_per_dec,
             "tau_ps": 1e12 * self.nfet.intrinsic_delay(vdd),
@@ -97,6 +108,39 @@ class DeviceFamily:
             f"no design for node {node_name!r} in {self.strategy} family"
         )
 
-    def table_rows(self) -> list[dict[str, float]]:
-        """One summary row per node (the Table 2 / Table 3 payload)."""
-        return [d.summary() for d in self.designs]
+    def nfet_stack(self) -> ParameterStack:
+        """The family's NFETs as one parameter-axis stack.
+
+        Rebuilt from the same inputs the optimiser constructed each
+        device with (gate length, node oxide, node reference length),
+        so stacked metrics agree with the per-device scalar models to
+        the batch layer's equivalence budget.
+        """
+        designs = self.designs
+        return ParameterStack(
+            l_poly_nm=np.array([d.nfet.geometry.l_poly_nm for d in designs]),
+            t_ox_nm=np.array([d.node.t_ox_nm for d in designs]),
+            is_nfet=True,
+            width_um=np.array([d.nfet.geometry.width_um for d in designs]),
+            reference_nm=np.array([d.node.l_poly_nm for d in designs]),
+        )
+
+    def table_rows(self, solver: str = "batch") -> list[dict[str, float]]:
+        """One summary row per node (the Table 2 / Table 3 payload).
+
+        ``solver="batch"`` (default) extracts the V_th,sat column for
+        the whole family in one gathered constant-current solve
+        (:meth:`repro.device.batch.BatchDeviceMetrics.vth_sat_cc`);
+        ``solver="sequential"`` keeps the per-design scalar ``brentq``
+        extraction as the correctness oracle.
+        """
+        validate_solver(solver)
+        if solver == "sequential":
+            return [d.summary() for d in self.designs]
+        metrics = self.nfet_stack().metrics(
+            np.array([d.nfet.profile.n_sub_cm3 for d in self.designs]),
+            np.array([d.nfet.profile.n_p_halo_cm3 for d in self.designs]),
+        )
+        vth = metrics.vth_sat_cc(np.array([d.vdd for d in self.designs]))
+        return [d.summary(vth_sat_v=float(v))
+                for d, v in zip(self.designs, vth)]

@@ -266,6 +266,55 @@ class TestRpr008MutableState:
         assert active_ids(report) == []
 
 
+class TestRpr009MaskedSolveLoop:
+    MASKED_LOOP = """
+        import numpy as np
+
+        def solve(lo, hi, xtol):
+            active = (hi - lo) > xtol
+            while np.any(active):
+                mid = 0.5 * (lo + hi)
+                lo = np.where(active, mid, lo)
+                active = (hi - lo) > xtol
+            return lo
+    """
+
+    def test_flags_engine_package_loop(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/scaling/x.py": self.MASKED_LOOP})
+        assert active_ids(report) == ["RPR009"]
+        assert "repro/numerics" in report.active[0].message
+
+    def test_method_any_spelling_flagged(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/circuit/x.py": """
+            def solve(err, tol, step):
+                live = err > tol
+                while live.any() and step < 80:
+                    err = err - 1.0
+                    live = err > tol
+                    step = step + 1
+                return err
+        """})
+        assert active_ids(report) == ["RPR009"]
+
+    def test_numerics_core_is_exempt(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/numerics/x.py": self.MASKED_LOOP})
+        assert active_ids(report) == []
+
+    def test_non_mask_while_loops_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/scaling/x.py": """
+            import numpy as np
+
+            def countdown(n, flags):
+                ready = bool(np.any(flags))
+                while n > 0:
+                    n = n - 1
+                return n, ready
+        """})
+        assert active_ids(report) == []
+
+
 class TestSuppressionLayer:
     OFFENDING = """
         def f(x: float) -> bool:
@@ -396,6 +445,6 @@ class TestCliAndRepo:
             "src/repro/analysis/x.py": "def broken(:\n"})
         assert [f.rule_id for f in report.active] == ["RPR000"]
 
-    def test_rule_catalogue_covers_all_eight(self):
+    def test_rule_catalogue_covers_all_nine(self):
         ids = [row[0] for row in rule_catalogue()]
-        assert ids == [f"RPR00{i}" for i in range(1, 9)]
+        assert ids == [f"RPR00{i}" for i in range(1, 10)]

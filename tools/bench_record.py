@@ -100,6 +100,11 @@ def summarise(raw: dict) -> dict:
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
         }
+        # Benches may attach quality facts (equivalence vs the paired
+        # oracle, measured active-lane fraction) via benchmark.extra_info;
+        # keep them next to the timings they qualify.
+        if bench.get("extra_info"):
+            benches[bench["name"]]["extra_info"] = bench["extra_info"]
     return {
         "schema": 1,
         "generated_by": "tools/bench_record.py",
