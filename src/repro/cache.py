@@ -24,6 +24,17 @@ Entries are versioned by :func:`model_schema_hash`, a digest of the
 physics/optimiser source files — any model change changes the hash and
 silently invalidates old entries.  To invalidate manually, delete the
 cache directory (or call :func:`clear_disk_cache`).
+
+The cache directory has three tenants, all keyed by the same schema
+hash (see ``docs/TUTORIAL.md`` for the full layout):
+
+* family entries — ``{tag}-{hash}.json``, optimised
+  :class:`~repro.scaling.strategy.DeviceFamily` JSON;
+* the bracket spill — ``brackets-{hash}.json``, the doping solver's
+  warm-start table (:func:`load_brackets` / :func:`store_brackets`);
+* grid tensors — ``grid-{grid_id}-{hash}.npz``, the design-space
+  service's precomputed metric grids (:func:`grid_path`; built by
+  ``repro grid build``, written/read by :mod:`repro.service.grid`).
 """
 
 from __future__ import annotations
@@ -236,6 +247,13 @@ def store_brackets(entries: dict[str, tuple[float, float]]) -> None:
     No-op when the cache is disabled or ``entries`` is empty.  JSON
     serialises floats via ``repr`` (shortest round-trip), so replayed
     brackets are bitwise the ones that were spilled.
+
+    Safe under concurrent writers: the temp file is per-process, so
+    parallel shard workers (``repro grid build --jobs N``) cannot
+    replace each other's temp out from underneath the rename.  A
+    concurrent writer can still win the final rename — the spill is a
+    warm-start accelerator, and losing entries never changes results
+    (replayed and cold brackets retire to bitwise-identical roots).
     """
     table = load_brackets()
     if table is None or not entries:
@@ -247,21 +265,43 @@ def store_brackets(entries: dict[str, tuple[float, float]]) -> None:
             table[str(key)] = [float(lo), float(hi)]
         directory.mkdir(parents=True, exist_ok=True)
         path = _entry_path(_BRACKET_TAG, directory)
-        tmp = path.with_suffix(".json.tmp")
+        tmp = path.with_suffix(f".json.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(
             {"schema": 1, "entries": table}, sort_keys=True))
         tmp.replace(path)
 
 
+# -- design-space grid tensors ------------------------------------------------
+
+def grid_path(grid_id: str) -> pathlib.Path | None:
+    """Cache path for a precomputed design-space grid, or None.
+
+    ``grid_id`` is the :meth:`repro.service.grid.GridSpec.grid_id` axes
+    digest; the filename also carries :func:`model_schema_hash`, so a
+    model edit orphans old tensors exactly like stale family entries
+    (the service then reports a cache miss and rebuilds or falls back
+    to the exact tier).  Returns None when the disk cache is disabled.
+    """
+    directory = cache_dir()
+    if directory is None:
+        return None
+    return directory / f"grid-{grid_id}-{model_schema_hash()}.npz"
+
+
 def clear_disk_cache() -> int:
-    """Delete every entry in the disk cache; returns the count removed."""
+    """Delete every entry in the disk cache; returns the count removed.
+
+    Covers all three tenants: family JSON, the bracket spill, and the
+    design-space grid tensors (``*.npz``).
+    """
     directory = cache_dir()
     if directory is None or not directory.is_dir():
         return 0
     removed = 0
-    for path in directory.glob("*.json"):
-        path.unlink(missing_ok=True)
-        removed += 1
+    for pattern in ("*.json", "*.npz"):
+        for path in directory.glob(pattern):
+            path.unlink(missing_ok=True)
+            removed += 1
     with _BRACKET_LOCK:
         _BRACKET_TABLES.clear()
     return removed

@@ -12,6 +12,9 @@ Usage::
     repro report --check       # exit 2 if the committed docs are stale
     repro lint                 # check the repo's coding invariants
     repro lint --format json   # ... machine-readable findings
+    repro grid build --quick   # precompute design-space grid tensors
+    repro serve                # answer design queries (stdio-JSON)
+    repro serve --transport http --port 8337
     python -m repro run table2 # module form
 
 Exit codes: 0 success; 1 a reproduced claim failed to hold (or, for
@@ -250,6 +253,78 @@ def _cmd_save_family(strategy: str, path: str) -> int:
     return 0
 
 
+def _cmd_grid_build(quick: bool, jobs: int, profile: bool,
+                    validate_points: int) -> int:
+    """Precompute, validate and spill the design-space grid tensors."""
+    from .cache import cache_dir
+    from .service import GridSpec, build_grid, fit_surrogate, store_grid
+    from .service.surrogate import SURROGATE_TOL_REL, validate_surrogate
+
+    if jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if cache_dir() is None:
+        print("error: the disk cache is disabled; set REPRO_CACHE_DIR "
+              "(or REPRO_CACHE=1) so the grid has somewhere to spill",
+              file=sys.stderr)
+        return 2
+    spec = GridSpec.quick() if quick else GridSpec.default()
+    start = time.perf_counter()
+    grid = build_grid(spec, jobs=jobs)
+    fill_s = time.perf_counter() - start
+    bounds = validate_surrogate(fit_surrogate(grid),
+                                max_points_per_node=validate_points)
+    path = store_grid(grid)
+    shape = spec.shape
+    print(f"filled {shape[0] * shape[1]} shards "
+          f"({'x'.join(str(n) for n in shape)} tensor per V_dd metric) "
+          f"in {fill_s:.1f}s")
+    worst = max(bounds, key=lambda m: bounds[m])
+    print(f"surrogate worst-case error: {bounds[worst]:.2e} relative "
+          f"({worst}); all bounds "
+          + ("within" if all(b <= SURROGATE_TOL_REL
+                             for b in bounds.values()) else "NOT within")
+          + f" the {SURROGATE_TOL_REL:g} target")
+    print(f"wrote {path}")
+    if profile:
+        print(perf.report())
+    return 0
+
+
+def _cmd_serve(transport: str, host: str, port: int, quick: bool,
+               no_grid: bool) -> int:
+    """Start the design-space query server on one transport."""
+    import asyncio
+
+    from .service import (DesignSpaceService, GridSpec, fit_surrogate,
+                          load_grid, serve_http, serve_stdio)
+
+    surrogate = None
+    if not no_grid:
+        spec = GridSpec.quick() if quick else GridSpec.default()
+        grid = load_grid(spec)
+        if grid is None:
+            print("no grid tensors for the current model schema hash; "
+                  "serving exact-only (run 'repro grid build' to "
+                  "precompute)", file=sys.stderr)
+        else:
+            surrogate = fit_surrogate(grid)
+    service = DesignSpaceService(surrogate)
+    # Status goes to stderr: on the stdio transport, stdout is the
+    # protocol channel.
+    tier = "exact-only" if surrogate is None else "surrogate+exact"
+    print(f"design-space service ready ({transport}, {tier}, "
+          f"schema {service.schema_hash})", file=sys.stderr)
+    try:
+        if transport == "stdio":
+            asyncio.run(serve_stdio(service))
+        else:
+            asyncio.run(serve_http(service, host=host, port=port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -306,6 +381,45 @@ def main(argv: list[str] | None = None) -> int:
     lint_parser.add_argument("--update-baseline", action="store_true",
                              help="rewrite the baseline to cover the "
                                   "current findings, then exit 0")
+    grid_parser = sub.add_parser(
+        "grid", help="manage precomputed design-space grid tensors")
+    grid_sub = grid_parser.add_subparsers(dest="grid_command",
+                                          required=True)
+    grid_build = grid_sub.add_parser(
+        "build", help="precompute + validate the grid, spill to the "
+                      "disk cache (REPRO_CACHE_DIR)")
+    grid_build.add_argument("--quick", action="store_true",
+                            help="the tiny CI/test grid instead of the "
+                                 "full serving grid")
+    grid_build.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="fill shards across N worker processes "
+                                 "(default 1; tensors are byte-identical "
+                                 "for any N)")
+    grid_build.add_argument("--validate-points", type=int, default=32,
+                            metavar="N",
+                            help="max exact-solve validation midpoints "
+                                 "per node (default 32)")
+    grid_build.add_argument("--profile", action="store_true",
+                            help="print solver/cache perf counters "
+                                 "after the build")
+    serve_parser = sub.add_parser(
+        "serve", help="answer design-space queries (surrogate-first, "
+                      "exact fallback)")
+    serve_parser.add_argument("--transport", choices=("stdio", "http"),
+                              default="stdio",
+                              help="newline-delimited JSON on stdio "
+                                   "(default) or an HTTP endpoint")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="HTTP bind address (default "
+                                   "127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8337,
+                              help="HTTP port (default 8337; 0 lets "
+                                   "the OS pick)")
+    serve_parser.add_argument("--quick", action="store_true",
+                              help="serve the tiny CI/test grid spec")
+    serve_parser.add_argument("--no-grid", action="store_true",
+                              help="skip grid loading; every query "
+                                   "answers from the exact tier")
     cards_parser = sub.add_parser(
         "cards", help="print a strategy family's model cards")
     cards_parser.add_argument("strategy", help="super-vth or sub-vth")
@@ -326,6 +440,14 @@ def main(argv: list[str] | None = None) -> int:
                                 root=args.root,
                                 baseline_path=args.baseline,
                                 update_baseline=args.update_baseline)
+    if args.command == "grid":
+        return _cmd_grid_build(quick=args.quick, jobs=args.jobs,
+                               profile=args.profile,
+                               validate_points=args.validate_points)
+    if args.command == "serve":
+        return _cmd_serve(transport=args.transport, host=args.host,
+                          port=args.port, quick=args.quick,
+                          no_grid=args.no_grid)
     if args.command == "cards":
         return _cmd_cards(args.strategy)
     if args.command == "save-family":

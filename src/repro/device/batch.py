@@ -151,6 +151,48 @@ class ParameterStack:
         self.vsat = np.where(is_nfet, VSAT_ELECTRON, VSAT_HOLE)
         self._mu_temp = (self.temperature_k / 300.0) ** -2.2
 
+    @classmethod
+    def from_devices(cls, devices) -> "ParameterStack":
+        """A stack whose lanes replicate constructed MOSFETs.
+
+        Lane ``i`` carries ``devices[i]``'s geometry, oxide and
+        polarity, with the reference length recovered from the stored
+        overlap (the inverse of :meth:`DeviceGeometry.proportional`),
+        so ``stack.metrics(n_sub, n_p_halo)`` with the devices' own
+        dopings reproduces their scalar metrics to the batch layer's
+        usual ulp-level agreement.  Used by the design-space grid fill
+        (:mod:`repro.service.grid`) to evaluate optimised devices over
+        a whole V_dd axis at once; :func:`repro.device.corners.corner_grid`
+        applies the same reconstruction with corner shifts folded in.
+
+        All devices must share a temperature and carry no per-device
+        V_th offset (offsets have no stack representation).
+        """
+        from . import geometry as geometry_mod
+        devices = tuple(devices)
+        if not devices:
+            raise ParameterError("need at least one device")
+        for dev in devices:
+            if dev.vth_offset_v:
+                raise ParameterError(
+                    "stacks cannot carry per-device V_th offsets")
+            if dev.temperature_k != devices[0].temperature_k:
+                raise ParameterError("stack devices must share T")
+        as_array = np.asarray
+        return cls(
+            l_poly_nm=as_array([d.geometry.l_poly_nm for d in devices]),
+            t_ox_nm=as_array([d.stack.thickness_cm / CM_PER_NM
+                              for d in devices]),
+            is_nfet=as_array([d.polarity is Polarity.NFET for d in devices]),
+            width_um=as_array([d.geometry.width_um for d in devices]),
+            reference_nm=as_array([
+                d.geometry.overlap_cm / geometry_mod.OVERLAP_FRACTION
+                / CM_PER_NM
+                for d in devices
+            ]),
+            temperature_k=devices[0].temperature_k,
+        )
+
     def take(self, idx) -> "ParameterStack":
         """The sub-stack at flat lane indices ``idx`` (1-D result).
 

@@ -13,13 +13,14 @@ module            rules                                       motivated by
 ``perf_counters`` RPR006 counter registry                     PRs 1-4
 ``state``         RPR008 mutable defaults / module state      PR 4
 ``rootsolve``     RPR009 hand-rolled masked solve loops       PR 6
+``docstrings``    RPR010 service docstring unit declarations  PR 7
 ================  ==========================================  =============
 """
 
 from __future__ import annotations
 
-from . import (determinism, exceptions, naming, numerics, parity,
-               perf_counters, rootsolve, state)
+from . import (determinism, docstrings, exceptions, naming, numerics,
+               parity, perf_counters, rootsolve, state)
 
-__all__ = ["determinism", "exceptions", "naming", "numerics", "parity",
-           "perf_counters", "rootsolve", "state"]
+__all__ = ["determinism", "docstrings", "exceptions", "naming",
+           "numerics", "parity", "perf_counters", "rootsolve", "state"]

@@ -1,0 +1,93 @@
+"""RPR010 — service docstrings must declare the units on the wire.
+
+The service package is the repo's outward-facing surface: its public
+functions are what ``docs/SERVICE.md`` documents and what remote
+clients program against, so "the unit lives in the identifier" is not
+enough there — the docstring is the contract text, and it must spell
+the unit out.
+
+The rule checks every public function (module-level, or a public
+method of a public class) in ``repro.service``: each parameter whose
+name carries a unit suffix from the :mod:`repro.units` vocabulary
+(``l_poly_nm``, ``ioff_target_a_per_um``, ``vdd_v`` ...) must be
+mentioned in the function's docstring together with its bracketed
+unit — ``l_poly_nm ... [nm]``, ``... [A/um]`` — matched
+case-insensitively, with ``_per_`` compounds written as a slash.
+A function with unit-suffixed parameters and no docstring at all is
+a finding per parameter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleUnit, ProjectContext, is_unit_suffixed
+from ..engine import Rule, register
+from ..findings import Finding
+
+#: The packages whose public surface is a served contract.
+SERVICE_PACKAGES = frozenset({"service"})
+
+
+def unit_bracket(name: str) -> str:
+    """The bracketed unit text a docstring must carry for ``name``
+    (lower-cased; ``_per_`` compounds render as a slash):
+    ``l_poly_nm`` -> ``[nm]``, ``ioff_target_a_per_um`` -> ``[a/um]``.
+    """
+    tokens = name.lower().split("_")
+    if len(tokens) >= 3 and tokens[-2] == "per":
+        return f"[{tokens[-3]}/{tokens[-1]}]"
+    return f"[{tokens[-1]}]"
+
+
+@register
+class ServiceDocstringUnitsRule(Rule):
+    rule_id = "RPR010"
+    title = "service docstring missing a parameter's unit"
+    rationale = ("repro.service is the outward-facing contract surface; "
+                 "remote clients read the docstring, not the call site, "
+                 "so unit-suffixed parameters must be documented with "
+                 "their bracketed unit")
+
+    def check_module(self, module: ModuleUnit,
+                     context: ProjectContext) -> Iterator[Finding]:
+        if module.top_package not in SERVICE_PACKAGES:
+            return
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    yield from self._check_function(module, node)
+            elif (isinstance(node, ast.ClassDef)
+                  and not node.name.startswith("_")):
+                for stmt in node.body:
+                    if (isinstance(stmt, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))
+                            and not stmt.name.startswith("_")):
+                        yield from self._check_function(module, stmt)
+
+    def _check_function(self, module: ModuleUnit,
+                        func: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> Iterator[Finding]:
+        args = func.args
+        suffixed = [arg for arg in (*args.posonlyargs, *args.args,
+                                    *args.kwonlyargs)
+                    if arg.arg not in ("self", "cls")
+                    and not arg.arg.startswith("_")
+                    and is_unit_suffixed(arg.arg)]
+        if not suffixed:
+            return
+        doc = (ast.get_docstring(func) or "").lower()
+        for arg in suffixed:
+            bracket = unit_bracket(arg.arg)
+            if not doc:
+                yield self.finding(
+                    module, arg.lineno, arg.col_offset,
+                    f"{func.name}() has the unit-carrying parameter "
+                    f"{arg.arg!r} but no docstring declaring its unit "
+                    f"{bracket}")
+            elif arg.arg.lower() not in doc or bracket not in doc:
+                yield self.finding(
+                    module, arg.lineno, arg.col_offset,
+                    f"docstring of {func.name}() must mention "
+                    f"{arg.arg!r} with its bracketed unit {bracket}")

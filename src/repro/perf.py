@@ -62,6 +62,19 @@ Counter names in use
     Flow-level re-attribution of the ``scaling.*`` / ``numerics.*``
     counters by :mod:`repro.experiments.families` (same meanings,
     family scope).
+``service.grid.shards`` / ``service.grid.points``
+    Design-space grid precompute: (node, L_poly) shards filled and the
+    total (target, V_dd) metric points they produced.
+``service.queries``
+    Queries answered by the design-space server (errors included).
+``service.surrogate_hits`` / ``service.exact_fallbacks``
+    Query answers served from the fitted surrogate vs answers that
+    fell back to an exact batched root-solve (off-grid point, NaN grid
+    cell, shifted corner, or no grid loaded).
+``service.errors``
+    Queries answered with an error envelope (any taxonomy code).
+``cache.grid.hits`` / ``cache.grid.misses`` / ``cache.grid.stores``
+    On-disk design-space grid tensors (schema-hash keyed ``.npz``).
 
 The registry below mirrors this list; ``repro lint`` (rule RPR006)
 statically checks every ``perf.bump``/``perf.get`` call site against
@@ -103,6 +116,15 @@ KNOWN_COUNTERS: frozenset[str] = frozenset({
     "scaling.bracket_cold_misses",
     "numerics.active_lanes",
     "numerics.total_lanes",
+    "service.grid.shards",
+    "service.grid.points",
+    "service.queries",
+    "service.surrogate_hits",
+    "service.exact_fallbacks",
+    "service.errors",
+    "cache.grid.hits",
+    "cache.grid.misses",
+    "cache.grid.stores",
 })
 
 #: Name families that may be built dynamically (f-string/concat call

@@ -1,0 +1,56 @@
+"""Design-space-as-a-service: precomputed grids, surrogate, server.
+
+The "experiment runner -> service" tier (ROADMAP item 1).  Four
+modules, layered bottom-up:
+
+* :mod:`~repro.service.contract` — the wire protocol: query/response
+  schemas, error taxonomy, provenance fields.  Rendered into
+  ``docs/SERVICE.md`` by the docs pipeline.
+* :mod:`~repro.service.exact` — the exact tier: batched doping
+  root-solves composed from the public flow APIs, bitwise equal to
+  direct library calls.
+* :mod:`~repro.service.grid` — sharded precompute of dense metric
+  tensors over (node x L_poly x I_off target x V_dd), spilled into
+  the schema-hash-keyed disk cache.
+* :mod:`~repro.service.surrogate` — regular-grid interpolants over
+  the tensors with measured worst-case error vs the exact tier.
+* :mod:`~repro.service.server` — the asyncio query server (stdio-JSON
+  and HTTP) behind ``repro serve``: surrogate-first, exact fallback,
+  per-query provenance.
+
+Quickstart::
+
+    REPRO_CACHE_DIR=/tmp/repro python -m repro grid build --quick
+    REPRO_CACHE_DIR=/tmp/repro python -m repro serve --quick
+"""
+
+from .contract import ALL_METRICS, ERROR_CODES, PROTOCOL_VERSION
+from .exact import exact_design, exact_point
+from .grid import Grid, GridSpec, build_grid, load_grid, store_grid
+from .server import DesignSpaceService, serve_http, serve_stdio
+from .surrogate import (
+    SURROGATE_TOL_REL,
+    Surrogate,
+    fit_surrogate,
+    validate_surrogate,
+)
+
+__all__ = [
+    "ALL_METRICS",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "exact_design",
+    "exact_point",
+    "Grid",
+    "GridSpec",
+    "build_grid",
+    "load_grid",
+    "store_grid",
+    "DesignSpaceService",
+    "serve_http",
+    "serve_stdio",
+    "SURROGATE_TOL_REL",
+    "Surrogate",
+    "fit_surrogate",
+    "validate_surrogate",
+]

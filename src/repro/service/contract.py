@@ -1,0 +1,200 @@
+"""The design-space service contract: queries, fields, error taxonomy.
+
+Single source of truth for the wire protocol of ``repro serve``.  The
+server (:mod:`repro.service.server`) validates requests against these
+tables and the docs pipeline (:func:`repro.analysis.docgen.build_service_md`)
+renders them into ``docs/SERVICE.md`` — the generated contract document
+that ``repro report --check`` gates against drift, exactly like
+``docs/RESULTS.md``.
+
+Every quantity on the wire carries its unit in the field name, using
+the same suffix vocabulary as the library identifiers
+(:mod:`repro.units`): ``l_poly_nm`` [nm], ``ioff_target_a_per_um``
+[A/um], ``vdd_v`` [V].  Responses echo the request ``id`` (when given)
+and attach a provenance footer tying every answer to the physics-model
+schema hash, the answering tier (surrogate vs exact), and the
+surrogate's recorded worst-case error bound.
+"""
+
+from __future__ import annotations
+
+#: Wire-protocol version; bumped on incompatible contract changes.
+PROTOCOL_VERSION: int = 1
+
+#: Metrics with a V_dd axis (tensor shape ``node x L x target x V_dd``).
+VDD_METRICS: tuple[str, ...] = (
+    "ioff_a_per_um",
+    "ion_a_per_um",
+    "vth_v",
+    "snm_mv",
+    "delay_ps",
+    "energy_fj_per_op",
+)
+
+#: Per-design metrics without a V_dd axis (``node x L x target``).
+DESIGN_METRICS: tuple[str, ...] = (
+    "ss_mv_per_dec",
+    "vmin_v",
+)
+
+#: Every metric the service can answer for.
+ALL_METRICS: tuple[str, ...] = VDD_METRICS + DESIGN_METRICS
+
+#: Metric -> (unit, one-line meaning).  NFET-referenced device metrics
+#: follow the paper's Table 2/3 conventions; SNM / V_min / E_op are
+#: evaluated on the symmetric inverter built from the optimised pair.
+METRIC_DOC: dict[str, tuple[str, str]] = {
+    "ioff_a_per_um": ("A/um", "NFET leakage per um of width at V_dd"),
+    "ion_a_per_um": ("A/um", "NFET on-current per um of width at V_dd"),
+    "vth_v": ("V", "NFET threshold voltage at drain bias V_dd "
+                   "(DIBL included)"),
+    "snm_mv": ("mV", "inverter static noise margin min(NM_L, NM_H) at "
+                     "V_dd (null when regeneration is lost)"),
+    "delay_ps": ("ps", "NFET intrinsic delay C_g V_dd / I_on at V_dd"),
+    "energy_fj_per_op": ("fJ", "Eq. 7 energy per cycle of the 30-stage "
+                               "reference chain at V_dd"),
+    "ss_mv_per_dec": ("mV/dec", "NFET inverse subthreshold slope"),
+    "vmin_v": ("V", "minimum-energy supply of the reference chain "
+                    "(null when the minimum sits outside the sweep)"),
+}
+
+#: Query types the server answers.
+QUERY_TYPES: tuple[str, ...] = ("info", "metrics", "flavour_menu",
+                               "snm_vmin")
+
+#: Process corners accepted by ``snm_vmin`` (``tt`` is served from the
+#: surrogate; shifted corners always run the exact tier).
+CORNERS: tuple[str, ...] = ("tt", "ff", "ss")
+
+#: field -> (type, required, description).  Shared request fields.
+_POINT_FIELDS: dict[str, tuple[str, bool, str]] = {
+    "node": ("string", True,
+             "technology node label (90nm / 65nm / 45nm / 32nm)"),
+    "l_poly_nm": ("number", True, "gate length [nm]"),
+    "ioff_target_a_per_um": ("number", True,
+                             "leakage target the doping is solved "
+                             "for [A/um], enforced at nominal rail"),
+    "vdd_v": ("number", True, "supply voltage the metrics are "
+                              "evaluated at [V]"),
+}
+
+#: Request schema per query type: field -> (type, required, description).
+REQUEST_FIELDS: dict[str, dict[str, tuple[str, bool, str]]] = {
+    "info": {
+        "query": ("string", True, 'constant "info"'),
+        "id": ("any", False, "opaque client token, echoed back"),
+    },
+    "metrics": {
+        "query": ("string", True, 'constant "metrics"'),
+        **_POINT_FIELDS,
+        "metrics": ("array[string]", False,
+                    "subset of the served metrics (default: all)"),
+        "schema_hash": ("string", False,
+                        "expected model schema hash; mismatch is a "
+                        "stale_schema error"),
+        "id": ("any", False, "opaque client token, echoed back"),
+    },
+    "flavour_menu": {
+        "query": ("string", True, 'constant "flavour_menu"'),
+        **_POINT_FIELDS,
+        "metrics": ("array[string]", False,
+                    "subset of the served metrics (default: all)"),
+        "schema_hash": ("string", False,
+                        "expected model schema hash; mismatch is a "
+                        "stale_schema error"),
+        "id": ("any", False, "opaque client token, echoed back"),
+    },
+    "snm_vmin": {
+        "query": ("string", True, 'constant "snm_vmin"'),
+        **_POINT_FIELDS,
+        "corner": ("string", False,
+                   "process corner tt / ff / ss (default tt; shifted "
+                   "corners always answer from the exact tier)"),
+        "schema_hash": ("string", False,
+                        "expected model schema hash; mismatch is a "
+                        "stale_schema error"),
+        "id": ("any", False, "opaque client token, echoed back"),
+    },
+}
+
+#: Response schema per query type: field -> description.
+RESPONSE_FIELDS: dict[str, dict[str, str]] = {
+    "info": {
+        "ok": "true",
+        "protocol": "wire-protocol version",
+        "schema_hash": "current physics-model schema hash",
+        "grid": "loaded grid axes + id, or null when serving exact-only",
+        "metrics": "list of served metric names",
+        "error_bounds_rel": "per-metric recorded worst-case relative "
+                            "error of the surrogate, or null",
+        "id": "echoed client token (when sent)",
+    },
+    "metrics": {
+        "ok": "true",
+        "values": "metric -> value (null where the model reports "
+                  "no answer, e.g. lost regeneration)",
+        "provenance": "provenance footer (see below)",
+        "id": "echoed client token (when sent)",
+    },
+    "flavour_menu": {
+        "ok": "true",
+        "flavours": "flavour -> {ioff_target_a_per_um, values, source} "
+                    "for the lvt/rvt/hvt menu scaled from the base "
+                    "target (x10 / x1 / x0.1)",
+        "provenance": "provenance footer; source is 'mixed' when "
+                      "flavours answered from different tiers",
+        "id": "echoed client token (when sent)",
+    },
+    "snm_vmin": {
+        "ok": "true",
+        "corner": "the corner answered for",
+        "values": "{snm_mv, vmin_v}",
+        "provenance": "provenance footer (see below)",
+        "id": "echoed client token (when sent)",
+    },
+}
+
+#: Provenance footer attached to every successful data response.
+PROVENANCE_FIELDS: dict[str, str] = {
+    "schema_hash": "physics-model schema hash the answer derives from "
+                   "(repro.cache.model_schema_hash)",
+    "source": "'surrogate' (interpolated from the precomputed grid), "
+              "'exact' (batched root-solve fallback), or 'mixed'",
+    "grid_id": "identity digest of the serving grid spec, or null for "
+               "exact answers",
+    "error_bound_rel": "per-metric recorded worst-case relative error "
+                       "of the surrogate vs the exact tier (null for "
+                       "exact answers)",
+    "protocol": "wire-protocol version",
+}
+
+#: Error taxonomy: code -> (meaning, typical trigger).
+ERROR_CODES: dict[str, tuple[str, str]] = {
+    "bad_request": ("request is not a JSON object or is missing / "
+                    "mistyping a required field",
+                    "malformed JSON line, l_poly_nm as a string"),
+    "unknown_query": ("the query type is not in the contract",
+                      '"query": "foo"'),
+    "unknown_node": ("the node label is not in the roadmap",
+                     '"node": "28nm"'),
+    "unknown_metric": ("a requested metric is not served",
+                       '"metrics": ["iddq"]'),
+    "out_of_hull": ("the point lies outside even the exact tier's "
+                    "validated domain (not merely off the grid — "
+                    "off-grid interior points silently fall back to "
+                    "the exact solve)",
+                    "l_poly_nm below the node's etched length, "
+                    "non-positive V_dd or leakage target"),
+    "stale_schema": ("the request pinned a schema_hash that differs "
+                     "from the server's current model sources",
+                     "client built against an older model revision"),
+    "solver_failure": ("the exact tier's optimiser could not satisfy "
+                       "the constraints at this point",
+                       "leakage target unreachable at this length"),
+    "internal": ("unexpected server-side failure",
+                 "bug; the message carries the exception text"),
+}
+
+#: Flavour menu multipliers mirrored from repro.scaling.multivth.
+FLAVOUR_MULTIPLIERS: dict[str, float] = {"lvt": 10.0, "rvt": 1.0,
+                                         "hvt": 0.1}

@@ -11,6 +11,8 @@ import pytest
 from repro.circuit import Inverter
 from repro.device import nfet, pfet
 from repro.experiments.families import sub_vth_family, super_vth_family
+from repro.service import (GridSpec, build_grid, fit_surrogate,
+                           validate_surrogate)
 
 
 @pytest.fixture(scope="session")
@@ -49,3 +51,31 @@ def super_family():
 def sub_family():
     """The cached Table 3 family."""
     return sub_vth_family()
+
+
+@pytest.fixture(scope="session")
+def service_spec():
+    """A single-node design-space window at serving density: every
+    axis has >= 4 points, so the pchip densify pass engages and the
+    surrogate meets SURROGATE_TOL_REL (as on the full serving grids),
+    while staying cheap enough to fill inside the test session."""
+    return GridSpec(
+        nodes=("65nm",),
+        l_ratios=tuple(round(1.5 + 0.05 * i, 4) for i in range(11)),
+        log10_ioff=(-10.6, -10.4, -10.2, -10.0),
+        vdd_v=(0.24, 0.26, 0.28, 0.30, 0.32),
+    )
+
+
+@pytest.fixture(scope="session")
+def service_grid(service_spec):
+    """The filled metric tensors for the service test window."""
+    return build_grid(service_spec)
+
+
+@pytest.fixture(scope="session")
+def service_surrogate(service_grid):
+    """Fitted + validated surrogate (error bounds attached)."""
+    surrogate = fit_surrogate(service_grid)
+    validate_surrogate(surrogate, max_points_per_node=12)
+    return surrogate

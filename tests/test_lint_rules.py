@@ -315,6 +315,50 @@ class TestRpr009MaskedSolveLoop:
         assert active_ids(report) == []
 
 
+class TestRpr010ServiceDocstringUnits:
+    def test_flags_missing_docstring(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/service/x.py": """
+            def leakage(vdd_v: float) -> float:
+                return 2.0 * vdd_v
+        """})
+        assert active_ids(report) == ["RPR010"]
+        assert "[v]" in report.active[0].message
+
+    def test_flags_docstring_without_bracketed_unit(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/service/x.py": """
+            def leakage(ioff_target_a_per_um: float) -> float:
+                '''Leakage at the ioff_target_a_per_um the doping met.'''
+                return ioff_target_a_per_um
+        """})
+        assert active_ids(report) == ["RPR010"]
+        assert "[a/um]" in report.active[0].message
+
+    def test_documented_units_pass(self, tmp_path):
+        report = lint_fixture(tmp_path, {"src/repro/service/x.py": """
+            class Tier:
+                def leakage(self, l_poly_nm: float, vdd_v: float) -> float:
+                    '''Leakage at gate length ``l_poly_nm`` [nm] and
+                    supply ``vdd_v`` [V].'''
+                    return l_poly_nm * vdd_v
+        """})
+        assert active_ids(report) == []
+
+    def test_other_packages_and_private_names_exempt(self, tmp_path):
+        report = lint_fixture(tmp_path, {
+            "src/repro/analysis/x.py": """
+                def tabulate(vdd_v: float) -> float:
+                    return vdd_v
+            """,
+            "src/repro/service/y.py": """
+                def _helper(vdd_v: float) -> float:
+                    return vdd_v
+
+                def info(count: int) -> int:
+                    return count
+            """})
+        assert active_ids(report) == []
+
+
 class TestSuppressionLayer:
     OFFENDING = """
         def f(x: float) -> bool:
@@ -445,6 +489,6 @@ class TestCliAndRepo:
             "src/repro/analysis/x.py": "def broken(:\n"})
         assert [f.rule_id for f in report.active] == ["RPR000"]
 
-    def test_rule_catalogue_covers_all_nine(self):
+    def test_rule_catalogue_covers_all_ten(self):
         ids = [row[0] for row in rule_catalogue()]
-        assert ids == [f"RPR00{i}" for i in range(1, 10)]
+        assert ids == [f"RPR00{i}" for i in range(1, 10)] + ["RPR010"]

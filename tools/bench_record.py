@@ -67,6 +67,10 @@ SUITES = {
         "targets": ("benchmarks/test_bench_flows.py",),
         "output": "BENCH_flows.json",
     },
+    "service": {
+        "targets": ("benchmarks/test_bench_service.py",),
+        "output": "BENCH_service.json",
+    },
 }
 
 #: --compare fails when a bench's fresh mean exceeds committed mean * this.
