@@ -13,6 +13,7 @@ from .batch import (
     LOST_REGENERATION_MESSAGES,
     SOLVER_MODES,
     gain_batch,
+    lost_regeneration_error,
     noise_margins_batch,
     solve_balance_batch,
     solve_vtc_batch,
@@ -46,6 +47,7 @@ __all__ = [
     "LOST_REGENERATION_MESSAGES",
     "SOLVER_MODES",
     "gain_batch",
+    "lost_regeneration_error",
     "noise_margins_batch",
     "solve_balance_batch",
     "solve_vtc_batch",

@@ -46,7 +46,7 @@ import numpy as np
 from .. import perf
 from ..constants import thermal_voltage
 from ..device.iv import _ekv_f
-from ..errors import ParameterError
+from ..errors import LostRegenerationError, ParameterError
 from ..numerics import bisect_masked
 
 #: Solver switch values shared by every batched/scalar consumer pair.
@@ -59,13 +59,30 @@ XTOL_DEFAULT = 1e-10
 #: gain = -1 bracket by this factor with a single batched VTC solve).
 _REFINE_INTERVALS = 64
 
-#: The exact messages the scalar SNM extraction raises when an
-#: inverter has lost regeneration; Monte Carlo maps *only* these to
-#: SNM = 0 and re-raises every other :class:`ParameterError`.
+#: Canonical lost-regeneration messages, indexed by ``lost_code - 1``.
+#: The scalar SNM extraction raises them wrapped in the structured
+#: :class:`repro.errors.LostRegenerationError` (via
+#: :func:`lost_regeneration_error`), which is what Monte Carlo and the
+#: service layer catch; every other :class:`ParameterError` is a
+#: genuine defect and propagates.
 LOST_REGENERATION_MESSAGES = (
     "VTC never reaches gain -1; supply too low for regeneration",
     "gain = -1 crossing hits the sweep boundary",
 )
+
+
+def lost_regeneration_error(code: int) -> LostRegenerationError:
+    """The structured error for batch ``lost_code == code``.
+
+    Pairs each code (``1`` — no gain = -1 point, ``2`` — crossing on
+    the sweep boundary) with its canonical message from
+    :data:`LOST_REGENERATION_MESSAGES`, so the batch and scalar paths
+    share one error contract.
+    """
+    if code not in (1, 2):
+        raise ParameterError("lost-regeneration code must be 1 or 2")
+    return LostRegenerationError(LOST_REGENERATION_MESSAGES[code - 1],
+                                 code=code)
 
 
 def validate_solver(solver: str) -> None:  # repro: noqa[RPR004] the switch's own validator, not a dual-backend API

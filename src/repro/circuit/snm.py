@@ -24,8 +24,8 @@ from scipy.optimize import brentq
 from .. import perf
 from ..errors import ParameterError
 from .batch import (
-    LOST_REGENERATION_MESSAGES,
     XTOL_DEFAULT,
+    lost_regeneration_error,
     noise_margins_batch,
     validate_solver,
 )
@@ -77,11 +77,11 @@ def _unity_gain_points(inverter: Inverter, n_scan: int = 101,
     values = np.array([gain_plus_one(v) for v in vins])
     below = values < 0.0
     if not below.any():
-        raise ParameterError(LOST_REGENERATION_MESSAGES[0])
+        raise lost_regeneration_error(1)
     first = int(np.argmax(below))
     last = int(len(below) - 1 - np.argmax(below[::-1]))
     if first == 0 or last == len(vins) - 1:
-        raise ParameterError(LOST_REGENERATION_MESSAGES[1])
+        raise lost_regeneration_error(2)
     v_il = float(brentq(gain_plus_one, vins[first - 1], vins[first],
                         xtol=xtol))
     v_ih = float(brentq(gain_plus_one, vins[last], vins[last + 1],
@@ -94,11 +94,11 @@ def noise_margins(inverter: Inverter, solver: str = "batch",
                   xtol: float = XTOL_DEFAULT) -> NoiseMargins:
     """Gain = -1 noise margins of a CMOS inverter (paper Fig. 4/10).
 
-    Raises :class:`ParameterError` when the inverter has no gain = -1
-    points (supply so low the VTC degenerates), which is itself a
-    meaningful "no noise margin left" result for callers to handle
-    (the exact messages are
-    :data:`repro.circuit.batch.LOST_REGENERATION_MESSAGES`).
+    Raises :class:`repro.errors.LostRegenerationError` when the
+    inverter has no gain = -1 points (supply so low the VTC
+    degenerates), which is itself a meaningful "no noise margin left"
+    result for callers to handle structurally via the error's ``code``
+    (aligned with the batch kernel's ``lost_code``).
 
     ``solver="batch"`` (default) extracts the margins through the
     vectorised VTC kernel; ``solver="sequential"`` runs the original
@@ -110,7 +110,7 @@ def noise_margins(inverter: Inverter, solver: str = "batch",
                                     xtol=xtol)
         code = int(batch.lost_code[0])
         if code:
-            raise ParameterError(LOST_REGENERATION_MESSAGES[code - 1])
+            raise lost_regeneration_error(code)
         return NoiseMargins(
             v_il=float(batch.v_il[0]), v_ih=float(batch.v_ih[0]),
             v_ol=float(batch.v_ol[0]), v_oh=float(batch.v_oh[0]),

@@ -15,6 +15,8 @@ Usage::
     repro grid build --quick   # precompute design-space grid tensors
     repro serve                # answer design queries (stdio-JSON)
     repro serve --transport http --port 8337
+    repro yield --vdd 0.2 0.25 0.3    # 6-sigma cell failure rates
+    repro yield --mode snm --vdd 0.12 --strategy super-vth
     python -m repro run table2 # module form
 
 Exit codes: 0 success; 1 a reproduced claim failed to hold (or, for
@@ -253,6 +255,50 @@ def _cmd_save_family(strategy: str, path: str) -> int:
     return 0
 
 
+def _cmd_yield(strategy: str, node: str, vdds: list[float], mode: str,
+               method: str, trials: int, seed: int, slowdown: float,
+               snm_min_mv: float, target_rel_err: float | None,
+               r_max_sigma: float, profile: bool) -> int:
+    """Estimate rare-event cell failure rates over a supply list."""
+    from .errors import ParameterError
+    from .variability import failure_rate_curve
+
+    family = _family(strategy)
+    try:
+        design = family.design(node)
+    except (ParameterError, KeyError):
+        known = ", ".join(d.node.name for d in family.designs)
+        print(f"error: unknown node {node!r}; known nodes: {known}",
+              file=sys.stderr)
+        return 2
+    try:
+        curve = failure_rate_curve(
+            design.inverter, vdds, label=f"{strategy} {node}", mode=mode,
+            method=method, n_trials=trials, seed=seed, slowdown=slowdown,
+            snm_min_v=1e-3 * snm_min_mv, target_rel_err=target_rel_err,
+            r_max_sigma=r_max_sigma)
+    except ParameterError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(f"{strategy} {node}, {mode}-mode failure, "
+          f"{method} estimator, seed {seed}")
+    for vdd, est in zip(curve.vdd_v, curve.estimates):
+        if est.p_fail == 0:
+            print(f"  V_dd = {vdd:.3f} V: no failure within "
+                  f"{r_max_sigma:g} sigma (p below resolution)")
+            continue
+        shift = (f", shift beta = {est.shift.beta_sigma:.2f} sigma"
+                 if est.shift is not None else "")
+        print(f"  V_dd = {vdd:.3f} V: p_fail = {est.p_fail:.3e} "
+              f"({est.sigma:.2f} sigma), 95% CI "
+              f"[{est.ci_lo:.2e}, {est.ci_hi:.2e}], "
+              f"rel err {est.rel_err:.1%}, ESS {est.ess:.0f}, "
+              f"{est.n_trials} trials{shift}")
+    if profile:
+        print(perf.report())
+    return 0
+
+
 def _cmd_grid_build(quick: bool, jobs: int, profile: bool,
                     validate_points: int) -> int:
     """Precompute, validate and spill the design-space grid tensors."""
@@ -420,6 +466,51 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--no-grid", action="store_true",
                               help="skip grid loading; every query "
                                    "answers from the exact tier")
+    yield_parser = sub.add_parser(
+        "yield", help="estimate rare-event cell failure rates "
+                      "(scrambled-Sobol QMC + importance sampling)")
+    yield_parser.add_argument("--strategy", default="sub-vth",
+                              help="super-vth or sub-vth (default "
+                                   "sub-vth)")
+    yield_parser.add_argument("--node", default="32nm",
+                              help="technology node (default 32nm)")
+    yield_parser.add_argument("--vdd", type=float, nargs="+",
+                              default=[0.25], metavar="V",
+                              help="supply voltages to sweep [V] "
+                                   "(default 0.25)")
+    yield_parser.add_argument("--mode", choices=("delay", "snm"),
+                              default="delay",
+                              help="failure mode: delay exceedance "
+                                   "(default) or SNM collapse")
+    yield_parser.add_argument("--method",
+                              choices=("mc", "qmc", "is", "qmc-is"),
+                              default="qmc-is",
+                              help="estimator (default qmc-is)")
+    yield_parser.add_argument("--trials", type=int, default=2048,
+                              metavar="N",
+                              help="trial budget per supply point "
+                                   "(default 2048; powers of two keep "
+                                   "the Sobol' balance)")
+    yield_parser.add_argument("--seed", type=int, default=2007,
+                              help="root stream seed (default 2007)")
+    yield_parser.add_argument("--slowdown", type=float, default=1.5,
+                              metavar="X",
+                              help="delay-mode timing window as a "
+                                   "multiple of nominal (default 1.5)")
+    yield_parser.add_argument("--snm-min-mv", type=float, default=0.0,
+                              metavar="MV",
+                              help="snm-mode required margin [mV] "
+                                   "(default 0: outright collapse)")
+    yield_parser.add_argument("--target-rel-err", type=float,
+                              default=None, metavar="R",
+                              help="stop early once the relative "
+                                   "standard error falls below R")
+    yield_parser.add_argument("--r-max-sigma", type=float, default=10.0,
+                              metavar="S",
+                              help="failure-point search horizon in "
+                                   "sigma (default 10)")
+    yield_parser.add_argument("--profile", action="store_true",
+                              help="print perf counters after the run")
     cards_parser = sub.add_parser(
         "cards", help="print a strategy family's model cards")
     cards_parser.add_argument("strategy", help="super-vth or sub-vth")
@@ -448,6 +539,15 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(transport=args.transport, host=args.host,
                           port=args.port, quick=args.quick,
                           no_grid=args.no_grid)
+    if args.command == "yield":
+        return _cmd_yield(strategy=args.strategy, node=args.node,
+                          vdds=args.vdd, mode=args.mode,
+                          method=args.method, trials=args.trials,
+                          seed=args.seed, slowdown=args.slowdown,
+                          snm_min_mv=args.snm_min_mv,
+                          target_rel_err=args.target_rel_err,
+                          r_max_sigma=args.r_max_sigma,
+                          profile=args.profile)
     if args.command == "cards":
         return _cmd_cards(args.strategy)
     if args.command == "save-family":

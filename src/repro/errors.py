@@ -21,6 +21,32 @@ class ModelDomainError(ReproError, ValueError):
     """A physical model was evaluated outside its domain of validity."""
 
 
+class LostRegenerationError(ParameterError):
+    """An inverter VTC has lost regeneration (no usable noise margin).
+
+    Deep-subthreshold supplies (or large V_th perturbations) can
+    degenerate the VTC until no gain = -1 noise margin exists; callers
+    such as the Monte Carlo and service layers treat this as a
+    meaningful "zero margin" outcome rather than a defect, so they
+    need to recognise it *structurally* instead of matching message
+    strings.  Construct instances through
+    :func:`repro.circuit.batch.lost_regeneration_error`, which pairs
+    each code with its canonical message.
+
+    Attributes
+    ----------
+    code:
+        Structured failure code, aligned with the batched kernel's
+        ``BatchNoiseMargins.lost_code``: ``1`` — the VTC never
+        reaches gain -1; ``2`` — the gain = -1 crossing hits the
+        sweep boundary.
+    """
+
+    def __init__(self, message: str, *, code: int) -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver failed to converge.
 

@@ -45,6 +45,7 @@ from . import (  # noqa: F401  -- imported for registration side effect
     ext_projection,
     ext_sensitivity,
     ext_dvs,
+    ext_yield,
     eq3,
     headlines,
 )

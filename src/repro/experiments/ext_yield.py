@@ -1,0 +1,170 @@
+"""Extension — six-sigma yield from ~10^3 trials (QMC + IS).
+
+The paper's variability discussion ends where a product decision
+begins: a million-cell subthreshold memory ships on its *per-cell*
+failure rate at 5-6 sigma, which brute-force Monte Carlo cannot reach
+(10^9-10^11 trials).  This experiment drives the rare-event engine of
+:mod:`repro.variability` over both 32nm scaling flows and reports
+cell-failure-rate-vs-V_dd curves for the two physical failure modes:
+
+* **delay exceedance** — the cell misses a 1.5x timing window
+  (Eq. 4 delay, exponential in ΔV_th deep in subthreshold), and
+* **SNM collapse** — the perturbed inverter loses bistability
+  outright (SNM <= 0 or no gain = -1 points).
+
+The estimator is mean-shift importance sampling on replicated
+scrambled-Sobol' streams; at a brute-force-verifiable point
+(p ~ 1e-4) the experiment cross-checks it against plain batched Monte
+Carlo and records the equal-accuracy trial compression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import Comparison, ExperimentResult
+from ..analysis.series import Series
+from ..variability.importance import estimate_failure_probability
+from ..variability.tails import failure_indicator, failure_rate_curve
+from .families import sub_vth_family, super_vth_family
+from .registry import experiment
+
+#: Supply grid of the delay-exceedance curves [V] (operating range).
+DELAY_VDD_GRID = (0.15, 0.20, 0.25, 0.30, 0.40)
+
+#: Timing window of the delay failure mode, as a multiple of the
+#: nominal cell delay.  With 32nm RDF sigmas (~3-5 mV) a 1.5x
+#: slowdown sits 4-8 sigma out — the regime margins are signed off in.
+DELAY_SLOWDOWN = 1.5
+
+#: Supply grid of the SNM-collapse curves [V] (the regeneration
+#: limit: nominal SNM is single-digit mV here).
+SNM_VDD_GRID = (0.10, 0.115, 0.13, 0.14)
+
+#: Trial budgets.  Delay trials are vectorised Eq. 4 evaluations
+#: (cheap); SNM trials each carry a batched VTC extraction, so the
+#: budget is smaller and split over fewer scrambling replicates.
+DELAY_TRIALS = 2048
+SNM_TRIALS = 256
+SNM_REPLICATES = 4
+
+#: Search horizon of the minimum-norm failure-point search [sigma].
+R_MAX_SIGMA = 10.0
+
+#: Brute-force cross-check budget at the p ~ 1e-4 agreement point.
+BRUTE_TRIALS = 1 << 21
+
+
+def _curves(design, label: str):
+    delay = failure_rate_curve(
+        design.inverter, DELAY_VDD_GRID, label=label, mode="delay",
+        slowdown=DELAY_SLOWDOWN, n_trials=DELAY_TRIALS,
+        r_max_sigma=R_MAX_SIGMA)
+    snm = failure_rate_curve(
+        design.inverter, SNM_VDD_GRID, label=label, mode="snm",
+        n_trials=SNM_TRIALS, n_replicates=SNM_REPLICATES,
+        r_max_sigma=R_MAX_SIGMA)
+    return delay, snm
+
+
+@experiment("ext_yield", "Extension: six-sigma yield (QMC + IS)")
+def run() -> ExperimentResult:
+    """Failure-rate-vs-V_dd curves per flow, plus the brute cross-check."""
+    sub = sub_vth_family().design("32nm")
+    sup = super_vth_family().design("32nm")
+    delay_sub, snm_sub = _curves(sub, "sub-vth 32nm")
+    delay_sup, snm_sup = _curves(sup, "super-vth 32nm")
+
+    # Brute-force agreement point: a slightly looser timing window
+    # pulls the tail up to p ~ 1e-4, where 2^21 plain trials resolve
+    # it to a few percent and the unbiasedness of the
+    # likelihood-ratio estimator is directly checkable.
+    inv = sub.inverter(0.25)
+    agree_ind = failure_indicator(inv, mode="delay", slowdown=1.3)
+    est = estimate_failure_probability(agree_ind, method="qmc-is",
+                                       n_trials=DELAY_TRIALS)
+    brute = estimate_failure_probability(agree_ind, method="mc",
+                                         n_trials=BRUTE_TRIALS)
+    # Trials plain MC would need to match the IS estimator's relative
+    # CI width: N = (1 - p) / (p rel^2).
+    bf_equal_trials = (1.0 - est.p_fail) / (est.p_fail * est.rel_err ** 2)
+    trial_compression = bf_equal_trials / est.n_trials
+
+    series = (
+        Series(label="delay-exceedance sigma, sub-vth",
+               x=delay_sub.vdd_v, y=delay_sub.sigma,
+               x_label="V_dd [V]", y_label="failure sigma level"),
+        Series(label="delay-exceedance sigma, super-vth",
+               x=delay_sup.vdd_v, y=delay_sup.sigma,
+               x_label="V_dd [V]", y_label="failure sigma level"),
+        Series(label="SNM-collapse sigma, sub-vth",
+               x=snm_sub.vdd_v, y=snm_sub.sigma,
+               x_label="V_dd [V]", y_label="failure sigma level"),
+        Series(label="SNM-collapse sigma, super-vth",
+               x=snm_sup.vdd_v, y=snm_sup.sigma,
+               x_label="V_dd [V]", y_label="failure sigma level"),
+    )
+
+    idx_025 = DELAY_VDD_GRID.index(0.25)
+    sigma_sub_025 = float(delay_sub.sigma[idx_025])
+    snm_gap = float(np.min(snm_sub.sigma - snm_sup.sigma))
+
+    comparisons = (
+        Comparison(
+            claim="the importance-sampling estimate is unbiased: it "
+                  "agrees with 2^21-trial brute force inside both 95% "
+                  "CIs at p ~ 1e-4",
+            paper_value=1.0,
+            measured_value=est.p_fail / brute.p_fail,
+            holds=est.agrees_with(brute),
+            note=f"IS {est.p_fail:.3e} (rel {est.rel_err:.1%}) vs "
+                 f"MC {brute.p_fail:.3e} (rel {brute.rel_err:.1%})",
+        ),
+        Comparison(
+            claim="equal-CI-width trial compression vs plain MC is "
+                  ">= 100x at the agreement point",
+            paper_value=float("nan"),
+            measured_value=trial_compression,
+            holds=trial_compression >= 100.0,
+            note=f"{est.n_trials} IS trials vs {bf_equal_trials:.0f} "
+                 "matched-accuracy MC trials",
+        ),
+        Comparison(
+            claim="a 1.5x timing window at the sub-vth design's 0.25 V "
+                  "operating point is a > 5 sigma margin (the "
+                  "'pessimistic design practices' quantified)",
+            paper_value=float("nan"),
+            measured_value=sigma_sub_025,
+            holds=sigma_sub_025 > 5.0,
+        ),
+        Comparison(
+            claim="delay-exceedance yield improves monotonically with "
+                  "V_dd (sub-vth flow)",
+            paper_value=float("nan"),
+            measured_value=float(np.min(np.diff(delay_sub.sigma))),
+            holds=bool(np.all(np.diff(delay_sub.sigma) > 0.0)),
+            note="min sigma gain per supply step over the grid",
+        ),
+        Comparison(
+            claim="at iso-supply the sub-vth flow's SNM-collapse yield "
+                  "beats the super-vth flow's by > 2 sigma (smaller "
+                  "RDF sigma from higher doping/area tradeoff)",
+            paper_value=float("nan"),
+            measured_value=snm_gap,
+            holds=snm_gap > 2.0,
+        ),
+        Comparison(
+            claim="SNM collapse is a sub-0.15 V phenomenon for the "
+                  "sub-vth design: > 8 sigma by V_dd = 0.14 V",
+            paper_value=float("nan"),
+            measured_value=float(snm_sub.sigma[-1]),
+            holds=float(snm_sub.sigma[-1]) > 8.0,
+            note="the paper's ~0.1 V regeneration limit, as yield",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="ext_yield",
+        title="Six-sigma yield over supply voltage (QMC + IS)",
+        series=series,
+        comparisons=comparisons,
+    )

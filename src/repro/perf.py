@@ -75,6 +75,17 @@ Counter names in use
     Queries answered with an error envelope (any taxonomy code).
 ``cache.grid.hits`` / ``cache.grid.misses`` / ``cache.grid.stores``
     On-disk design-space grid tensors (schema-hash keyed ``.npz``).
+``variability.qmc_points`` / ``variability.mc_points``
+    Standard-normal trial pairs drawn from the scrambled-Sobol' /
+    block-seeded pseudo-random streams of the rare-event engine.
+``variability.shift_probes``
+    Failure-indicator points spent by the batched minimum-norm
+    failure-point search (importance-shift location).
+``variability.estimator_trials``
+    Trials evaluated by the likelihood-ratio tail estimator (across
+    all chunks; early stopping shows up as fewer trials).
+``variability.tail_points``
+    (V_dd, design) points estimated on failure-rate-vs-supply curves.
 
 The registry below mirrors this list; ``repro lint`` (rule RPR006)
 statically checks every ``perf.bump``/``perf.get`` call site against
@@ -125,6 +136,11 @@ KNOWN_COUNTERS: frozenset[str] = frozenset({
     "cache.grid.hits",
     "cache.grid.misses",
     "cache.grid.stores",
+    "variability.qmc_points",
+    "variability.mc_points",
+    "variability.shift_probes",
+    "variability.estimator_trials",
+    "variability.tail_points",
 })
 
 #: Name families that may be built dynamically (f-string/concat call

@@ -15,12 +15,11 @@ from __future__ import annotations
 
 import math
 
-from ..circuit.batch import LOST_REGENERATION_MESSAGES
 from ..circuit.energy import chain_energy_per_cycle, find_vmin
 from ..circuit.snm import noise_margins
 from ..device.corners import Corner, at_corner
 from ..device.mosfet import Polarity
-from ..errors import ParameterError
+from ..errors import LostRegenerationError, ParameterError
 from ..scaling.batch import optimize_doping_groups, reset_warm_starts
 from ..scaling.roadmap import NodeSpec
 from ..scaling.strategy import DeviceDesign
@@ -95,10 +94,8 @@ def _snm_mv(design: DeviceDesign, vdd_v: float) -> float:
     is lost (served as a null value, not an error)."""
     try:
         margins = noise_margins(design.inverter(vdd_v))
-    except ParameterError as err:
-        if str(err) in LOST_REGENERATION_MESSAGES:
-            return math.nan
-        raise
+    except LostRegenerationError:
+        return math.nan
     return 1000.0 * min(margins.nm_low, margins.nm_high)
 
 

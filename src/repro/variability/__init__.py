@@ -20,6 +20,25 @@ from .yield_model import (
     gate_log_delay_sigma,
     path_log_delay_sigma,
 )
+from .sampler import (
+    SobolNormalStream,
+    PseudoNormalStream,
+    qmc_vth_offsets,
+)
+from .importance import (
+    FailurePoint,
+    YieldEstimate,
+    estimate_failure_probability,
+    failure_probability,
+    find_failure_shift,
+    sigma_level,
+)
+from .tails import (
+    TailCurve,
+    cell_failure_rate,
+    failure_indicator,
+    failure_rate_curve,
+)
 
 __all__ = [
     "rdf_sigma_vth",
@@ -32,4 +51,17 @@ __all__ = [
     "timing_margin",
     "gate_log_delay_sigma",
     "path_log_delay_sigma",
+    "SobolNormalStream",
+    "PseudoNormalStream",
+    "qmc_vth_offsets",
+    "FailurePoint",
+    "YieldEstimate",
+    "estimate_failure_probability",
+    "failure_probability",
+    "find_failure_shift",
+    "sigma_level",
+    "TailCurve",
+    "cell_failure_rate",
+    "failure_indicator",
+    "failure_rate_curve",
 ]

@@ -1,0 +1,369 @@
+"""Mean-shift importance sampling for 5-6 sigma failure probabilities.
+
+Brute-force Monte Carlo needs ~1/p trials to *see* one failure, so a
+6 sigma cell failure rate (p ~ 1e-9) is out of reach even for the
+array-native kernels.  This module implements the standard rare-event
+workaround in the standardised offset space ``u = ΔV_th / sigma``:
+
+1. **Minimum-norm failure point.**  A batched radial search over the
+   failure indicator (itself built on ``noise_margins_batch`` /
+   ``analytic_delay_batch``) finds the failure-boundary point closest
+   to the origin — the dominant failure mode, at distance ``beta``
+   sigmas.  Every bisection step probes all live directions in one
+   batched kernel call.
+2. **Mean-shift sampling.**  Trials are drawn from ``N(u*, I)``
+   centred on that point, so failures are common instead of
+   astronomically rare, and each trial is reweighted by the exact
+   likelihood ratio ``w(u) = phi(u)/phi(u - u*)``.  The estimator
+   ``p = mean(w * 1[fail])`` is unbiased for *any* failure set
+   because the shifted Gaussian keeps full support.
+3. **QMC option.**  The shifted trials can come from replicated
+   scrambled-Sobol' streams (:mod:`repro.variability.sampler`); the
+   spread between replicate estimates gives the confidence interval.
+
+Evaluation is chunked so memory stays flat at 10^5+ trials, yet the
+result is byte-deterministic for any chunk size: the streams address
+trials by absolute index and all reductions run over one preallocated
+per-trial array.  The optional relative-error stopping rule only
+examines the estimator at power-of-two milestones, which keeps early
+stopping chunk-invariant too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy.special import ndtr, ndtri
+
+from .. import perf
+from ..errors import ParameterError
+from .sampler import PseudoNormalStream, SobolNormalStream
+
+#: Estimator flavours: pseudo-random or replicated-QMC draws, with or
+#: without the mean shift ("mc" is the brute-force baseline).
+METHODS = ("mc", "qmc", "is", "qmc-is")
+
+#: Two-sided 95 % normal quantile used for the confidence intervals.
+_Z95 = 1.959963984540054
+
+
+def sigma_level(p_fail: float) -> float:
+    """One-sided sigma equivalent of a failure probability.
+
+    ``sigma_level(9.87e-10) ~ 6.0`` — the "6 sigma" currency of memory
+    yield.  Returns ``inf`` for ``p_fail <= 0``.
+    """
+    if p_fail < 0.0:
+        raise ParameterError("failure probability cannot be negative")
+    if p_fail == 0:
+        return math.inf
+    if p_fail >= 1.0:
+        return -math.inf
+    return float(-ndtri(p_fail))
+
+
+def failure_probability(sigma: float) -> float:
+    """Inverse of :func:`sigma_level`: the one-sided tail mass beyond
+    ``sigma`` standard deviations (``6 -> 9.87e-10``)."""
+    return float(ndtr(-sigma))
+
+
+@dataclass(frozen=True)
+class FailurePoint:
+    """Minimum-norm failure-boundary point found by the radial search.
+
+    Attributes
+    ----------
+    u_star:
+        Standardised shift vector (units of per-device sigma).
+    beta_sigma:
+        Its norm — the design point's sigma distance, a first-order
+        (FORM) estimate of the failure rate's sigma level.
+    n_probes:
+        Failure-indicator evaluations the search spent.
+    """
+
+    u_star: np.ndarray
+    beta_sigma: float
+    n_probes: int
+
+
+def find_failure_shift(failure: Callable[[np.ndarray], np.ndarray],
+                       dim: int = 2, n_directions: int = 16,
+                       r_max_sigma: float = 8.0,
+                       n_bisections: int = 16) -> FailurePoint | None:
+    """Batched minimum-norm failure-point search.
+
+    Probes ``n_directions`` unit rays from the origin of the
+    standardised space; every ray that fails at radius ``r_max_sigma``
+    [sigma] is bisected to its first failing radius, all rays per step
+    in **one** call of ``failure`` (one batched kernel solve).  A
+    second fan around the winning ray refines the direction.  Returns
+    ``None`` when no probed ray fails within ``r_max_sigma`` — the
+    failure set is beyond the search horizon (or empty).
+
+    ``failure`` maps an ``(n, dim)`` array of standardised offsets to
+    a boolean failure mask; only ``dim == 2`` directions fans are
+    implemented (the inverter's two perturbed devices).
+    """
+    if dim != 2:
+        raise ParameterError("direction fans are implemented for dim == 2")
+    if n_directions < 4:
+        raise ParameterError("need at least 4 search directions")
+    if r_max_sigma <= 0.0:
+        raise ParameterError("r_max_sigma must be positive")
+    n_probes = 0
+
+    def fail_at(points: np.ndarray) -> np.ndarray:
+        nonlocal n_probes
+        n_probes += points.shape[0]
+        perf.bump("variability.shift_probes", points.shape[0])
+        return np.asarray(failure(points), dtype=bool)
+
+    def bisect_fan(angles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        rays = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        alive = fail_at(r_max_sigma * rays)
+        radii = np.full(angles.shape, np.inf)
+        if not alive.any():
+            return radii, rays
+        rays_live = rays[alive]
+        lo = np.zeros(rays_live.shape[0])
+        hi = np.full(rays_live.shape[0], r_max_sigma)
+        for _ in range(n_bisections):
+            mid = 0.5 * (lo + hi)
+            failed = fail_at(mid[:, None] * rays_live)
+            hi = np.where(failed, mid, hi)
+            lo = np.where(failed, lo, mid)
+        radii[alive] = hi   # first radius verified to fail
+        return radii, rays
+
+    coarse = np.linspace(0.0, 2.0 * math.pi, n_directions, endpoint=False)
+    radii, rays = bisect_fan(coarse)
+    best = int(np.argmin(radii))
+    if not np.isfinite(radii[best]):
+        return None
+    # Refine the direction: a narrow fan spanning the winning ray's
+    # neighbours, then keep the overall minimum-norm point.
+    span = 2.0 * math.pi / n_directions
+    fine = coarse[best] + np.linspace(-span, span, n_directions)
+    fine_radii, fine_rays = bisect_fan(fine)
+    all_radii = np.concatenate([radii, fine_radii])
+    all_rays = np.concatenate([rays, fine_rays])
+    best = int(np.argmin(all_radii))
+    beta = float(all_radii[best])
+    return FailurePoint(u_star=beta * all_rays[best], beta_sigma=beta,
+                        n_probes=n_probes)
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """One rare-event failure-probability estimate.
+
+    Attributes
+    ----------
+    p_fail:
+        Estimated per-cell failure probability.
+    rel_err:
+        Standard error over the estimate (``inf`` when no failures
+        were observed).
+    ci_lo / ci_hi:
+        Two-sided 95 % confidence bounds (clipped at 0).
+    sigma:
+        One-sided sigma equivalent of ``p_fail``.
+    ess:
+        Effective sample size of the failure-weighted trials,
+        ``(sum w)^2 / sum w^2``.
+    n_trials:
+        Trials actually evaluated (early stopping may use fewer than
+        requested).
+    method:
+        One of :data:`METHODS`.
+    shift:
+        The importance shift used (``None`` for the unshifted
+        methods).
+    n_replicates:
+        Independent scrambles averaged by the QMC methods (1 for the
+        pseudo-random methods).
+    seed:
+        Root seed of the trial streams.
+    """
+
+    p_fail: float
+    rel_err: float
+    ci_lo: float
+    ci_hi: float
+    sigma: float
+    ess: float
+    n_trials: int
+    method: str
+    shift: FailurePoint | None
+    n_replicates: int
+    seed: int
+
+    def agrees_with(self, other: "YieldEstimate") -> bool:
+        """Whether the two estimates' 95 % intervals overlap."""
+        return self.ci_lo <= other.ci_hi and other.ci_lo <= self.ci_hi
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def _stats(terms: np.ndarray, n_replicates: int
+           ) -> tuple[float, float, float]:
+    """(p_hat, standard error, ESS) of a filled per-trial prefix.
+
+    Pseudo-random methods use the classic sample variance of the
+    weighted terms; QMC methods read the spread between replicate
+    means instead (within one scramble the trials are *not*
+    independent, so the classic formula would lie).  Trials are
+    interleaved round-robin across replicates, so a prefix holds
+    equally many trials of each.
+    """
+    n = terms.size
+    if n_replicates > 1:
+        means = terms.reshape(n // n_replicates, n_replicates).mean(axis=0)
+        p_hat = float(means.mean())
+        se = float(means.std(ddof=1) / math.sqrt(n_replicates))
+    else:
+        p_hat = float(terms.mean())
+        se = float(terms.std(ddof=1) / math.sqrt(n))
+    failing = terms[terms > 0.0]
+    ess = (float(failing.sum()) ** 2 / float((failing ** 2).sum())
+           if failing.size else 0.0)
+    return p_hat, se, ess
+
+
+def estimate_failure_probability(
+        failure: Callable[[np.ndarray], np.ndarray],
+        method: str = "qmc-is",
+        n_trials: int = 4096,
+        seed: int = 2007,
+        chunk_trials: int = 4096,
+        n_replicates: int = 8,
+        shift: FailurePoint | None = None,
+        target_rel_err: float | None = None,
+        min_trials: int = 1024,
+        n_directions: int = 16,
+        r_max_sigma: float = 8.0) -> YieldEstimate:
+    """Unbiased likelihood-ratio estimate of ``P(failure)``.
+
+    ``failure`` maps an ``(n, 2)`` array of standardised V_th offsets
+    (units of each device's RDF sigma) to a boolean failure mask; it
+    is evaluated in chunks of ``chunk_trials`` so peak memory does not
+    grow with ``n_trials``, and the result is byte-identical for any
+    chunk size.
+
+    ``method`` selects the trial stream (:data:`METHODS`): plain
+    brute force (``"mc"``), replicated scrambled-Sobol' QMC
+    (``"qmc"``), and their mean-shifted importance-sampling versions
+    (``"is"``, ``"qmc-is"``).  The shifted methods locate the shift
+    with :func:`find_failure_shift` unless one is passed in; when no
+    failure point exists within ``r_max_sigma`` [sigma] the estimate
+    degenerates to "no failures observed" (``p_fail = 0`` with an
+    infinite relative error) without spending the trial budget.
+
+    With ``target_rel_err`` set, evaluation stops early at the first
+    power-of-two milestone (>= ``min_trials``) where the estimate's
+    relative standard error falls below the target — the
+    effective-sample-size / relative-error stopping rule.  Milestones
+    are independent of ``chunk_trials``, so early stopping is as
+    chunk-invariant as the full run.
+    """
+    if method not in METHODS:
+        raise ParameterError(f"unknown method {method!r}; "
+                             f"choose one of {METHODS}")
+    if n_trials < 2:
+        raise ParameterError("need at least 2 trials")
+    if chunk_trials < 1:
+        raise ParameterError("chunk_trials must be >= 1")
+    if n_replicates < 2 and method.startswith("qmc"):
+        raise ParameterError("QMC error estimation needs >= 2 replicates")
+    if target_rel_err is not None and target_rel_err <= 0.0:
+        raise ParameterError("target_rel_err must be positive")
+
+    use_qmc = method.startswith("qmc")
+    use_shift = method.endswith("is")
+    replicates = n_replicates if use_qmc else 1
+    n_total = _round_up(n_trials, replicates)
+
+    if use_shift and shift is None:
+        shift = find_failure_shift(failure, n_directions=n_directions,
+                                   r_max_sigma=r_max_sigma)
+        if shift is None:
+            # Nothing fails within the search horizon: report the
+            # no-failure outcome explicitly instead of burning trials.
+            return YieldEstimate(
+                p_fail=0.0, rel_err=math.inf, ci_lo=0.0, ci_hi=0.0,
+                sigma=math.inf, ess=0.0, n_trials=0, method=method,
+                shift=None, n_replicates=replicates, seed=seed)
+    u_star = shift.u_star if use_shift and shift is not None else None
+
+    if use_qmc:
+        streams = [SobolNormalStream(seed=seed, replicate=r)
+                   for r in range(replicates)]
+    else:
+        streams = [PseudoNormalStream(seed=seed)]
+
+    # Per-trial likelihood-ratio terms w * 1[fail]; global trial g is
+    # trial g // R of replicate g % R, so any prefix balances the
+    # replicates and any chunking fills identical values.
+    terms = np.empty(n_total)
+
+    def fill(a: int, b: int) -> None:
+        for r, stream in enumerate(streams):
+            # Intra-replicate index range of global trials in [a, b)
+            # with g % R == r.
+            j0 = (a - r + replicates - 1) // replicates
+            j1 = (b - r + replicates - 1) // replicates
+            if j1 <= j0:
+                continue
+            z = stream.take(j0, j1 - j0)
+            if u_star is None:
+                w = np.ones(z.shape[0])
+                u = z
+            else:
+                u = z + u_star
+                w = np.exp(-z @ u_star - 0.5 * float(u_star @ u_star))
+            fail = np.asarray(failure(u), dtype=bool)
+            g0 = j0 * replicates + r
+            terms[g0:b:replicates] = np.where(fail, w, 0.0)
+        perf.bump("variability.estimator_trials", b - a)
+
+    milestone = _round_up(max(min(min_trials, n_total), 2), replicates)
+    filled = 0
+    n_used = n_total
+    while filled < n_total:
+        target = n_total if target_rel_err is None else min(milestone,
+                                                            n_total)
+        while filled < target:
+            step = min(chunk_trials, target - filled)
+            fill(filled, filled + step)
+            filled += step
+        if target_rel_err is not None:
+            p_hat, se, _ess = _stats(terms[:filled], replicates)
+            if p_hat > 0.0 and se / p_hat <= target_rel_err:
+                n_used = filled
+                break
+            milestone = min(milestone * 2, n_total)
+        if filled >= n_total:
+            n_used = n_total
+
+    p_hat, se, ess = _stats(terms[:n_used], replicates)
+    rel = se / p_hat if p_hat > 0.0 else math.inf
+    return YieldEstimate(
+        p_fail=p_hat,
+        rel_err=rel,
+        ci_lo=max(p_hat - _Z95 * se, 0.0),
+        ci_hi=p_hat + _Z95 * se,
+        sigma=sigma_level(p_hat),
+        ess=ess,
+        n_trials=n_used,
+        method=method,
+        shift=shift if use_shift else None,
+        n_replicates=replicates,
+        seed=seed,
+    )

@@ -20,15 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..circuit.batch import (
-    LOST_REGENERATION_MESSAGES,
-    noise_margins_batch,
-    validate_solver,
-)
+from ..circuit.batch import noise_margins_batch, validate_solver
 from ..circuit.delay import analytic_delay, analytic_delay_batch
 from ..circuit.inverter import Inverter
 from ..circuit.snm import noise_margins
-from ..errors import ParameterError
+from ..errors import LostRegenerationError, ParameterError
 from .rdf import rdf_sigma_vth
 
 
@@ -123,12 +119,12 @@ def snm_distribution(inverter: Inverter, n_trials: int = 100,
                      solver: str = "batch") -> MonteCarloResult:
     """Inverter SNM distribution under RDF [V].
 
-    Trials where the perturbed inverter loses regeneration (no
-    gain = -1 points, or the crossings hit the sweep boundary — the
-    two messages of
-    :data:`repro.circuit.batch.LOST_REGENERATION_MESSAGES`) are
-    recorded as zero noise margin; any other :class:`ParameterError`
-    is a genuine defect and propagates.
+    Trials where the perturbed inverter loses regeneration — the
+    scalar path raises the structured
+    :class:`repro.errors.LostRegenerationError`, whose ``code``
+    mirrors the batch kernel's ``lost_code`` — are recorded as zero
+    noise margin; any other :class:`ParameterError` is a genuine
+    defect and propagates.
     """
     validate_solver(solver)
     offs_n, offs_p = sample_vth_offsets(inverter, n_trials, seed)
@@ -141,9 +137,6 @@ def snm_distribution(inverter: Inverter, n_trials: int = 100,
         try:
             samples[i] = noise_margins(
                 _perturbed(inverter, dn, dp), solver="sequential").snm
-        except ParameterError as err:
-            if str(err) in LOST_REGENERATION_MESSAGES:
-                samples[i] = 0.0
-            else:
-                raise
+        except LostRegenerationError:
+            samples[i] = 0.0
     return MonteCarloResult.from_samples(samples)

@@ -1,0 +1,169 @@
+"""Seeded, chunk-invariant V_th offset sample streams (MC and QMC).
+
+The rare-event estimator needs two properties the ad-hoc
+``sample_vth_offsets`` helper cannot give it:
+
+* **index addressing** — trial ``i`` of a stream must be the same
+  numbers whether the stream is evaluated in one array of 10^5 trials
+  or in 64 chunks of 2^11, so chunked (memory-flat) evaluation is
+  byte-for-byte reproducible; and
+* **low discrepancy** — a scrambled Sobol' sequence fills the
+  (ΔV_th,n, ΔV_th,p) plane far more evenly than pseudo-random pairs,
+  which tightens the tail estimator's confidence interval at equal
+  trial count (the QMC half of the QMC+IS engine).
+
+Both stream flavours address trials by absolute index: ``take(start,
+count)`` always returns trials ``start .. start+count-1`` of the same
+conceptual infinite stream.  The Sobol' stream fast-forwards a freshly
+seeded generator; the pseudo-random stream derives one child
+``SeedSequence`` per fixed-size block, so block ``k`` is independent
+of how many trials were drawn before it.
+
+Scrambling/entropy flows are all spawned from one root seed
+(``np.random.SeedSequence(seed).spawn(...)``), mirroring the
+per-device split of :func:`repro.variability.montecarlo.sample_vth_offsets`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import ndtri
+from scipy.stats import qmc
+
+from .. import perf
+from ..circuit.inverter import Inverter
+from ..errors import ParameterError
+from .rdf import rdf_sigma_vth
+
+#: Trials per pseudo-random block; block ``k`` of a stream is drawn
+#: from child ``k`` of the stream's root ``SeedSequence``, making the
+#: stream a pure function of (seed, trial index).
+MC_BLOCK_TRIALS: int = 4096
+
+#: Uniform clip bound before the normal inverse-CDF: keeps ndtri
+#: finite (|z| <= ~8.2 sigma) without measurably biasing the stream.
+_UNIFORM_EPS: float = 1e-16
+
+
+def _clip_uniforms(u: np.ndarray) -> np.ndarray:
+    return np.clip(u, _UNIFORM_EPS, 1.0 - _UNIFORM_EPS)
+
+
+@dataclass(frozen=True)
+class SobolNormalStream:
+    """Scrambled-Sobol' stream of standard-normal trial pairs.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; the scrambling entropy is spawn child
+        ``replicate`` of ``SeedSequence(seed)``.
+    replicate:
+        Which independent re-scrambling of the sequence this stream
+        is.  Randomised-QMC error estimation averages a handful of
+        replicates and reads the spread between them.
+    dim:
+        Number of coordinates per trial (one per perturbed device).
+    """
+
+    seed: int = 2007
+    replicate: int = 0
+    dim: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicate < 0:
+            raise ParameterError("replicate must be >= 0")
+        if self.dim < 1:
+            raise ParameterError("need at least one dimension")
+
+    def _engine(self) -> qmc.Sobol:
+        children = np.random.SeedSequence(self.seed).spawn(
+            self.replicate + 1)
+        rng = np.random.default_rng(children[self.replicate])
+        return qmc.Sobol(d=self.dim, scramble=True, seed=rng)
+
+    def take(self, start: int, count: int) -> np.ndarray:
+        """Standard-normal trials ``start .. start+count-1``, shape
+        ``(count, dim)``.
+
+        Identical for any chunking: a fresh engine is fast-forwarded
+        to ``start``, so the values depend only on (seed, replicate,
+        index).
+        """
+        if start < 0 or count < 1:
+            raise ParameterError("need start >= 0 and count >= 1")
+        engine = self._engine()
+        if start:
+            engine.fast_forward(start)
+        with warnings.catch_warnings():
+            # Arbitrary chunk sizes trip Sobol's power-of-two balance
+            # warning; balance is a property of the *total* draw,
+            # which the callers keep a power of two.
+            warnings.simplefilter("ignore", UserWarning)
+            u = engine.random(count)
+        perf.bump("variability.qmc_points", count)
+        return ndtri(_clip_uniforms(u))
+
+
+@dataclass(frozen=True)
+class PseudoNormalStream:
+    """Block-seeded pseudo-random stream of standard-normal pairs.
+
+    The brute-force counterpart of :class:`SobolNormalStream` with the
+    same index-addressed contract: trial ``i`` lives in block
+    ``i // MC_BLOCK_TRIALS``, and each block is drawn whole from its
+    own spawned child stream, so chunked evaluation reproduces the
+    one-shot stream bitwise.
+    """
+
+    seed: int = 2007
+    replicate: int = 0
+    dim: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicate < 0:
+            raise ParameterError("replicate must be >= 0")
+        if self.dim < 1:
+            raise ParameterError("need at least one dimension")
+
+    def _block(self, index: int) -> np.ndarray:
+        root = np.random.SeedSequence(
+            self.seed, spawn_key=(self.replicate, index))
+        rng = np.random.default_rng(root)
+        return rng.standard_normal((MC_BLOCK_TRIALS, self.dim))
+
+    def take(self, start: int, count: int) -> np.ndarray:
+        """Standard-normal trials ``start .. start+count-1``, shape
+        ``(count, dim)`` (chunk-invariant, see class docstring)."""
+        if start < 0 or count < 1:
+            raise ParameterError("need start >= 0 and count >= 1")
+        first = start // MC_BLOCK_TRIALS
+        last = (start + count - 1) // MC_BLOCK_TRIALS
+        blocks = [self._block(b) for b in range(first, last + 1)]
+        stacked = np.concatenate(blocks, axis=0)
+        offset = start - first * MC_BLOCK_TRIALS
+        perf.bump("variability.mc_points", count)
+        return stacked[offset:offset + count]
+
+
+def qmc_vth_offsets(inverter: Inverter, n_trials: int, seed: int = 2007,
+                    replicate: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Scrambled-Sobol' (NFET, PFET) V_th offset pairs [V].
+
+    Drop-in alternative to
+    :func:`repro.variability.montecarlo.sample_vth_offsets`: the same
+    ``(offs_n, offs_p)`` contract, but the pairs are a low-discrepancy
+    set, so Monte Carlo summaries converge faster in ``n_trials``
+    (keep it a power of two for the Sobol' balance guarantee).  The
+    offsets scale the devices' RDF sigmas; the underlying
+    standard-normal stream is :class:`SobolNormalStream`.
+    """
+    if n_trials < 1:
+        raise ParameterError("need at least one trial")
+    z = SobolNormalStream(seed=seed, replicate=replicate).take(0, n_trials)
+    sigma_n = rdf_sigma_vth(inverter.nfet)
+    sigma_p = rdf_sigma_vth(inverter.pfet)
+    return sigma_n * z[:, 0], sigma_p * z[:, 1]

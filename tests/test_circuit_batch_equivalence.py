@@ -19,13 +19,14 @@ from repro.circuit import (
     butterfly_snm,
     find_vmin,
     gain_batch,
+    lost_regeneration_error,
     noise_margins,
     noise_margins_batch,
     solve_vtc_batch,
 )
 from repro.circuit.energy import chain_energy_per_cycle, chain_energy_sweep
 from repro.circuit.sram import SramCell
-from repro.errors import ParameterError
+from repro.errors import LostRegenerationError, ParameterError
 from repro.variability import sample_vth_offsets, snm_distribution
 from repro.variability.montecarlo import _perturbed
 
@@ -67,10 +68,11 @@ class TestNoiseMarginEquivalence:
             inv = design.inverter(vdd)
             try:
                 seq = noise_margins(inv, solver="sequential", xtol=TIGHT)
-            except ParameterError as err:
-                assert str(err) in LOST_REGENERATION_MESSAGES
-                with pytest.raises(ParameterError, match=str(err)[:20]):
+            except LostRegenerationError as err:
+                assert str(err) == LOST_REGENERATION_MESSAGES[err.code - 1]
+                with pytest.raises(LostRegenerationError) as batch_err:
                     noise_margins(inv, solver="batch", xtol=TIGHT)
+                assert batch_err.value.code == err.code
                 continue
             batch = noise_margins(inv, solver="batch", xtol=TIGHT)
             # All fields live on the supply scale, so 1e-9 relative
@@ -93,8 +95,9 @@ class TestNoiseMarginEquivalence:
             pert = _perturbed(inverter_sub, dn[i], dp[i])
             if batch.lost[i]:
                 code = int(batch.lost_code[i])
-                with pytest.raises(ParameterError) as err:
+                with pytest.raises(LostRegenerationError) as err:
                     noise_margins(pert, solver="sequential", xtol=TIGHT)
+                assert err.value.code == code
                 assert str(err.value) == LOST_REGENERATION_MESSAGES[code - 1]
             else:
                 seq = noise_margins(pert, solver="sequential", xtol=TIGHT)
@@ -161,24 +164,15 @@ class TestButterflyEquivalence:
 
 
 class TestLostRegenerationNarrowing:
-    """Satellite: only the two known messages map to SNM = 0."""
+    """Satellite: only the structured error maps to SNM = 0."""
 
-    def test_lost_messages_become_zero(self, inverter_sub, monkeypatch):
+    @pytest.mark.parametrize("code", (1, 2))
+    def test_structured_error_becomes_zero(self, inverter_sub, monkeypatch,
+                                           code):
         import repro.variability.montecarlo as mc
 
         def fake_noise_margins(inverter, solver="batch"):
-            raise ParameterError(LOST_REGENERATION_MESSAGES[0])
-
-        monkeypatch.setattr(mc, "noise_margins", fake_noise_margins)
-        result = mc.snm_distribution(inverter_sub, n_trials=5,
-                                     solver="sequential")
-        assert np.all(result.samples == 0.0)
-
-    def test_boundary_message_becomes_zero(self, inverter_sub, monkeypatch):
-        import repro.variability.montecarlo as mc
-
-        def fake_noise_margins(inverter, solver="batch"):
-            raise ParameterError(LOST_REGENERATION_MESSAGES[1])
+            raise lost_regeneration_error(code)
 
         monkeypatch.setattr(mc, "noise_margins", fake_noise_margins)
         result = mc.snm_distribution(inverter_sub, n_trials=5,
@@ -195,6 +189,25 @@ class TestLostRegenerationNarrowing:
         with pytest.raises(ParameterError, match="boom"):
             mc.snm_distribution(inverter_sub, n_trials=5,
                                 solver="sequential")
+
+    def test_same_message_plain_error_still_propagates(self, inverter_sub,
+                                                       monkeypatch):
+        """The old string-matching contract is gone: a plain
+        ParameterError no longer silences as SNM = 0 even when its
+        message happens to equal a canonical lost message."""
+        import repro.variability.montecarlo as mc
+
+        def fake_noise_margins(inverter, solver="batch"):
+            raise ParameterError(LOST_REGENERATION_MESSAGES[0])
+
+        monkeypatch.setattr(mc, "noise_margins", fake_noise_margins)
+        with pytest.raises(ParameterError, match="never reaches"):
+            mc.snm_distribution(inverter_sub, n_trials=5,
+                                solver="sequential")
+
+    def test_factory_rejects_unknown_code(self):
+        with pytest.raises(ParameterError, match="must be 1 or 2"):
+            lost_regeneration_error(3)
 
 
 class TestSeedStreamSplit:

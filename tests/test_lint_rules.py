@@ -343,6 +343,18 @@ class TestRpr010ServiceDocstringUnits:
         """})
         assert active_ids(report) == []
 
+    def test_variability_package_is_a_served_surface(self, tmp_path):
+        # The rare-event yield engine joined the RPR010 surface: its
+        # unit-suffixed parameters must be documented like service's.
+        report = lint_fixture(tmp_path, {
+            "src/repro/variability/x.py": """
+                def tail(vdd_v: float, t_max_s: float) -> float:
+                    '''Failure rate at supply ``vdd_v`` [V].'''
+                    return vdd_v * t_max_s
+            """})
+        assert active_ids(report) == ["RPR010"]
+        assert "[s]" in report.active[0].message
+
     def test_other_packages_and_private_names_exempt(self, tmp_path):
         report = lint_fixture(tmp_path, {
             "src/repro/analysis/x.py": """

@@ -1,8 +1,11 @@
 """Tests for the timing-margin / yield model."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ParameterError
+from repro.variability import estimate_failure_probability
+from repro.variability.tails import failure_indicator
 from repro.variability.yield_model import (
     gate_log_delay_sigma,
     margin_vs_supply,
@@ -54,9 +57,72 @@ class TestTimingMargin:
         with pytest.raises(ParameterError):
             timing_margin(inverter_sub, yield_target=1.5)
 
+    @pytest.mark.parametrize("target", [0.5, 1.0, 0.0, -0.1])
+    def test_rejects_yield_outside_open_interval(self, inverter_sub,
+                                                 target):
+        # (0.5, 1.0) is open at both ends: 0.5 would put the margin
+        # below nominal, 1.0 is unattainable with Gaussian tails.
+        with pytest.raises(ParameterError):
+            timing_margin(inverter_sub, yield_target=target)
+
     def test_rejects_bad_paths(self, inverter_sub):
         with pytest.raises(ParameterError):
             timing_margin(inverter_sub, n_paths=0)
+
+    def test_rejects_bad_gates(self, inverter_sub):
+        with pytest.raises(ParameterError):
+            timing_margin(inverter_sub, n_gates=0)
+
+
+class TestTimingMarginProperties:
+    """Property-based checks: the margin is monotone where the model
+    says it must be, for *any* valid operating point — not just the
+    handful of example points above."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_paths=st.integers(min_value=1, max_value=10**6),
+           factor=st.integers(min_value=2, max_value=1000))
+    def test_margin_monotone_in_n_paths(self, inverter_sub, n_paths,
+                                        factor):
+        few = timing_margin(inverter_sub, n_paths=n_paths)
+        many = timing_margin(inverter_sub, n_paths=n_paths * factor)
+        assert many.margin_multiplier >= few.margin_multiplier
+
+    @settings(max_examples=30, deadline=None)
+    @given(lo=st.floats(min_value=0.501, max_value=0.998),
+           step=st.floats(min_value=1e-3, max_value=0.4))
+    def test_margin_monotone_in_yield_target(self, inverter_sub, lo,
+                                             step):
+        hi = min(lo + step, 0.9995)
+        loose = timing_margin(inverter_sub, yield_target=lo)
+        tight = timing_margin(inverter_sub, yield_target=hi)
+        assert tight.margin_multiplier >= loose.margin_multiplier
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_gates=st.integers(min_value=1, max_value=500),
+           n_paths=st.integers(min_value=1, max_value=10**6),
+           target=st.floats(min_value=0.501, max_value=0.9999))
+    def test_margin_never_below_one(self, inverter_sub, n_gates,
+                                    n_paths, target):
+        report = timing_margin(inverter_sub, n_gates=n_gates,
+                               n_paths=n_paths, yield_target=target)
+        assert report.margin_multiplier >= 1.0
+        assert report.sigma_ln_path <= report.sigma_ln_gate
+
+
+class TestEstimatorAgreement:
+    def test_qmc_matches_mc_at_brute_verifiable_tail(self, sub_family):
+        # p ~ 2.5e-4 — inside the 1e-3..1e-4 window where both plain
+        # estimators resolve the tail and their 95 % CIs must overlap.
+        inv = sub_family.design("32nm").inverter(0.25)
+        indicator = failure_indicator(inv, mode="delay", slowdown=1.3)
+        qmc = estimate_failure_probability(indicator, method="qmc",
+                                           n_trials=1 << 17, seed=11)
+        mc = estimate_failure_probability(indicator, method="mc",
+                                          n_trials=1 << 17, seed=11)
+        assert 1e-4 < qmc.p_fail < 1e-3
+        assert 1e-4 < mc.p_fail < 1e-3
+        assert qmc.agrees_with(mc)
 
 
 class TestStrategyComparison:

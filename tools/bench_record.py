@@ -13,7 +13,13 @@ Three suites exist:
 * ``flows`` — the batched design-space engine
   (``benchmarks/test_bench_flows.py``: cold-cache super/sub-V_th family
   builds, the multi-V_th menu, the calibration-sensitivity rebuild, and
-  their sequential oracles) -> ``BENCH_flows.json``.
+  their sequential oracles) -> ``BENCH_flows.json``;
+* ``service`` — the design-space query server tiers
+  (``benchmarks/test_bench_service.py``) -> ``BENCH_service.json``;
+* ``variability`` — the rare-event yield engine
+  (``benchmarks/test_bench_variability.py``: QMC-IS pipeline, shift
+  search, the >= 100x equal-accuracy speedup gate vs brute force, and
+  the ``ext_yield`` experiment) -> ``BENCH_variability.json``.
 
 Committing the summary after perf-relevant PRs builds up the
 performance trajectory of the project; CI runs the same script with
@@ -70,6 +76,10 @@ SUITES = {
     "service": {
         "targets": ("benchmarks/test_bench_service.py",),
         "output": "BENCH_service.json",
+    },
+    "variability": {
+        "targets": ("benchmarks/test_bench_variability.py",),
+        "output": "BENCH_variability.json",
     },
 }
 
