@@ -33,7 +33,8 @@ def vin_of_vout_matched(vout: float | np.ndarray, vdd: float, m: float,
     """Eq. 3(c): the matched-inverter input for a given output [V].
 
     Valid strictly inside the rails (the log diverges at 0 and V_dd,
-    exactly as the true VTC saturates).
+    exactly as the true VTC saturates).  ``temperature_k`` [k] sets
+    the thermal voltage.
     """
     if vdd <= 0.0:
         raise ParameterError("vdd must be positive")
@@ -51,7 +52,8 @@ def vin_of_vout_matched(vout: float | np.ndarray, vdd: float, m: float,
 def vin_of_vout_general(vout: float, vdd: float, m_n: float, m_p: float,
                         vth_n: float, vth_p: float, i0_n: float, i0_p: float,
                         temperature_k: float = T_ROOM) -> float:
-    """Eq. 3(b): the general (mismatched) subthreshold VTC inverse [V]."""
+    """Eq. 3(b): the general (mismatched) subthreshold VTC inverse
+    [V]; ``temperature_k`` [k] sets the thermal voltage."""
     if min(i0_n, i0_p) <= 0.0:
         raise ParameterError("I_0 prefactors must be positive")
     if min(m_n, m_p) < 1.0:
@@ -84,6 +86,7 @@ def max_gain_matched(vdd: float, m: float,
     ``|A_max| = (2/(m v_T)) * (1/(e^{-V_dd/(2 v_T)} ... ))``; for
     ``V_dd >> v_T`` it approaches ``V_dd ... `` — evaluated here
     numerically from the closed form for exactness.
+    ``temperature_k`` [k] sets the thermal voltage.
     """
     vt = thermal_voltage(temperature_k)
     h = 1e-6 * vdd
@@ -109,8 +112,9 @@ def analytic_snm_matched(vdd: float, m: float,
                          n_grid: int = 4001) -> AnalyticSnm:
     """Gain = -1 noise margins of the Eq. 3(c) VTC.
 
-    Uses the closed-form inverse characteristic on a dense V_out grid;
-    by symmetry ``NM_L = NM_H``, so the SNM is either margin.
+    Uses the closed-form inverse characteristic on a dense V_out grid
+    at ``temperature_k`` [k]; by symmetry ``NM_L = NM_H``, so the SNM
+    is either margin.
     """
     vout = np.linspace(1e-4 * vdd, vdd * (1.0 - 1e-4), n_grid)
     vin = vin_of_vout_matched(vout, vdd, m, temperature_k)

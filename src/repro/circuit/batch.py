@@ -232,9 +232,10 @@ def gain_batch(inverter, vin, dvth_n=0.0, dvth_p=0.0,
                h_v: float | None = None, xtol: float = XTOL_DEFAULT):
     """Small-signal gain dV_out/dV_in for arrays of VTC points.
 
-    Uses the same finite-difference stencil (step ``V_dd * 1e-4``,
-    clamped at the rails) as ``Inverter.gain``, evaluated from one
-    batched VTC solve over all ``2 * n`` stencil endpoints.
+    Uses the same finite-difference stencil (step ``h_v`` [v],
+    defaulting to ``V_dd * 1e-4``, clamped at the rails) as
+    ``Inverter.gain``, evaluated from one batched VTC solve over all
+    ``2 * n`` stencil endpoints.
     """
     vin_arr, dn_arr, dp_arr = _broadcast_inputs(vin, dvth_n, dvth_p)
     shape = vin_arr.shape

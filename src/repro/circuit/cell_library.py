@@ -55,7 +55,7 @@ class CellTiming:
     leakage_w: float
 
     def delay_at(self, load_f: float) -> float:
-        """Interpolated delay at an arbitrary load [s]."""
+        """Interpolated delay [s] at an arbitrary ``load_f`` [f]."""
         loads = np.asarray(self.loads_f)
         delays = np.asarray(self.delays_s)
         if not loads.min() <= load_f <= loads.max():

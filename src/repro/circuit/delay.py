@@ -52,9 +52,10 @@ def analytic_delay(inverter: Inverter, c_load_f: float | None = None,
                    k_d: float = K_D_DEFAULT) -> float:
     """Eq. 4 delay ``k_d C_L V_dd / I_on`` [s].
 
-    ``I_on`` is the average of the NFET and PFET on-currents — the two
-    transitions are driven by different devices and the paper's ``k_d``
-    absorbs the residual asymmetry.
+    ``c_load_f`` [f] defaults to the FO1 load.  ``I_on`` is the
+    average of the NFET and PFET on-currents — the two transitions are
+    driven by different devices and the paper's ``k_d`` absorbs the
+    residual asymmetry.
     """
     if k_d <= 0.0:
         raise ParameterError("k_d must be positive")
@@ -78,7 +79,7 @@ def analytic_delay_batch(inverter: Inverter, dvth_n=0.0, dvth_p=0.0,
     through the ``vth_shift_v`` hook of :meth:`MOSFET.ids`, so the
     whole Monte Carlo population is two vectorised I-V evaluations.
     The load is the *unperturbed* inverter's FO1 load unless
-    ``c_load_f`` overrides it (matching ``delay_distribution``).
+    ``c_load_f`` [f] overrides it (matching ``delay_distribution``).
     """
     if k_d <= 0.0:
         raise ParameterError("k_d must be positive")

@@ -61,7 +61,7 @@ def chain_rate_hz(chain: InverterChain, vdd: float) -> float:
 def vdd_for_throughput(chain: InverterChain, f_target_hz: float,
                        vdd_lo: float = 0.10, vdd_hi: float = 1.2,
                        tol: float = 1e-4) -> float:
-    """Lowest supply at which the chain meets ``f_target_hz``.
+    """Lowest supply at which the chain meets ``f_target_hz`` [hz].
 
     Delay is monotone decreasing in V_dd, so bisection applies.
     Raises when the target exceeds the rate at ``vdd_hi``.
@@ -103,7 +103,8 @@ def chain_rate_batch(chain: InverterChain, vdd) -> np.ndarray:
 def vdd_for_throughput_batch(chain: InverterChain, f_targets_hz,
                              vdd_lo: float = 0.10, vdd_hi: float = 1.2,
                              tol: float = 1e-4) -> np.ndarray:
-    """Lowest supplies meeting each of an array of rate targets [V].
+    """Lowest supplies meeting each ``f_targets_hz`` target [hz],
+    as supplies [V].
 
     Batched port of :func:`vdd_for_throughput` through the gathered
     core: the bisection runs in pure-midpoint mode (warmup pinned to
@@ -142,7 +143,8 @@ def vdd_for_throughput_batch(chain: InverterChain, f_targets_hz,
 def dvs_curve(chain: InverterChain, f_targets_hz,
               mep: VminResult | None = None, power_gated: bool = False,
               solver: str = "batch") -> np.ndarray:
-    """Energy per delivered cycle for an array of rate targets [J].
+    """Energy per delivered cycle [J] per ``f_targets_hz`` rate
+    target [hz].
 
     Vectorised counterpart of mapping
     :func:`energy_per_cycle_at_throughput` over ``f_targets_hz``: the
@@ -190,8 +192,8 @@ def energy_per_cycle_at_throughput(chain: InverterChain,
                                    ) -> DvsOperatingPoint:
     """Energy per cycle under the V_min-floored DVS policy.
 
-    Above the V_min rate: conventional DVS (lowest supply meeting the
-    target).  Below it: compute at V_min with duty cycle
+    Above the V_min rate: conventional DVS (lowest supply meeting
+    ``f_target_hz`` [hz]).  Below it: compute at V_min with duty cycle
     ``f_target / f(V_min)`` —
 
     * ``power_gated=False`` (default): the idle fraction still leaks,

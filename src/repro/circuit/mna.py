@@ -67,13 +67,24 @@ class TransientResult:
     voltages: dict[str, np.ndarray]
 
     def at(self, node: str, time_s: float) -> float:
-        """Linearly interpolated node voltage at ``time_s`` [V]."""
+        """Linearly interpolated node voltage [V] at ``time_s`` [s]."""
         return float(np.interp(time_s, self.time_s, self.voltages[node]))
 
     def crossing_time(self, node: str, level_v: float,
                       rising: bool | None = None) -> float:
-        """First time the node crosses ``level_v`` [s]."""
+        """First time the node crosses ``level_v`` [V], in [s].
+
+        A waveform that starts exactly at the level and departs in the
+        requested direction crosses at t = 0 (symmetric with the
+        falling case, which the interpolation already resolved to 0).
+        """
         wave = self.voltages[node]
+        if wave[0] == level_v:
+            off_level = np.flatnonzero(wave != level_v)
+            if off_level.size:
+                going_up = bool(wave[off_level[0]] > level_v)
+                if rising is None or rising is going_up:
+                    return 0.0
         above = wave >= level_v
         for i in range(1, wave.size):
             if above[i] == above[i - 1]:
@@ -192,6 +203,7 @@ class NodalSolver:
                  time_s: float = 0.0) -> DCResult:
         """DC operating point; ``initial`` seeds Newton (SRAM states).
 
+        ``time_s`` [s] is the waveform evaluation time of the sources.
         A seeded solve first attempts direct Newton at ``gmin = 0`` so
         that a bistable circuit converges to the basin the seed lies in;
         the gmin continuation (which would steer every seed to the same
@@ -242,8 +254,8 @@ class NodalSolver:
             t = 0 state (SPICE's UIC), which is how one starts an RC
             charging experiment or kicks a ring oscillator.
         max_change_v:
-            Optional accuracy bound: a step whose largest node change
-            exceeds this is retried at half the step.
+            Optional accuracy bound [v]: a step whose largest node
+            change exceeds this is retried at half the step.
         """
         if t_stop_s <= 0.0 or dt_s <= 0.0:
             raise ParameterError("t_stop_s and dt_s must be positive")

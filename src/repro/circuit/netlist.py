@@ -41,7 +41,7 @@ class VoltageSource:
     waveform: Callable[[float], float]
 
     def value(self, time_s: float) -> float:
-        """Source voltage at ``time_s`` [V]."""
+        """Source voltage [V] at ``time_s`` [s]."""
         return float(self.waveform(time_s))
 
 
@@ -114,13 +114,20 @@ class Circuit:
     resistors: list[Resistor] = field(default_factory=list)
     capacitors: list[Capacitor] = field(default_factory=list)
     transistors: list[Transistor] = field(default_factory=list)
+    #: Incrementally maintained taken-name set; rebuilding it per add
+    #: made netlist construction O(n^2), real money at array scale.
+    _names: set[str] = field(default_factory=set, init=False, repr=False,
+                             compare=False)
+
+    def __post_init__(self) -> None:
+        for e in (*self.sources, *self.resistors, *self.capacitors,
+                  *self.transistors):
+            self._names.add(e.name)
 
     # -- construction -------------------------------------------------------
 
     def _check_name(self, name: str) -> None:
-        taken = {e.name for e in (self.sources + self.resistors
-                                  + self.capacitors + self.transistors)}
-        if name in taken:
+        if name in self._names:
             raise ParameterError(f"element name {name!r} already used")
 
     def add_vsource(self, name: str, node: str,
@@ -137,22 +144,25 @@ class Circuit:
             else value
         self.sources.append(VoltageSource(name=name, node=node,
                                           waveform=waveform))
+        self._names.add(name)
 
     def add_resistor(self, name: str, node_a: str, node_b: str,
                      ohms: float) -> None:
-        """Add a linear resistor."""
+        """Add a linear resistor of ``ohms`` [ohms]."""
         self._check_name(name)
         if ohms <= 0.0:
             raise ParameterError("resistance must be positive")
         self.resistors.append(Resistor(name, node_a, node_b, ohms))
+        self._names.add(name)
 
     def add_capacitor(self, name: str, node_a: str, node_b: str,
                       farads: float) -> None:
-        """Add a linear capacitor."""
+        """Add a linear capacitor of ``farads`` [farads]."""
         self._check_name(name)
         if farads <= 0.0:
             raise ParameterError("capacitance must be positive")
         self.capacitors.append(Capacitor(name, node_a, node_b, farads))
+        self._names.add(name)
 
     def add_mosfet(self, name: str, drain: str, gate: str, source: str,
                    device: MOSFET) -> None:
@@ -160,6 +170,7 @@ class Circuit:
         self._check_name(name)
         self.transistors.append(Transistor(name, drain, gate, source,
                                            device))
+        self._names.add(name)
 
     def add_inverter(self, name: str, input_node: str, output_node: str,
                      vdd_node: str, nfet_dev: MOSFET, pfet_dev: MOSFET

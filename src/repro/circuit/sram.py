@@ -181,8 +181,10 @@ def bitline_read(cell: SramCell, n_bits: int,
                  sense_swing_v: float = 0.05) -> BitlineReadReport:
     """Analyse a read on a bitline shared by ``n_bits`` cells.
 
-    Worst case: every unaccessed cell stores the data polarity that
-    leaks into the line while the accessed cell discharges it.
+    ``c_bitline_per_cell_f`` [f] is each cell's bitline loading and
+    ``sense_swing_v`` [v] the differential swing the sense amplifier
+    needs.  Worst case: every unaccessed cell stores the data polarity
+    that leaks into the line while the accessed cell discharges it.
     """
     if n_bits < 1:
         raise ParameterError("need at least one cell on the line")

@@ -105,7 +105,8 @@ def switch_event(inverter: Inverter, c_load_f: float, falling: bool,
 
 def propagation_delay(inverter: Inverter, c_load_f: float,
                       rtol: float = 1e-6) -> float:
-    """Average of the falling and rising 50 % propagation delays [s]."""
+    """Average of the falling and rising 50 % propagation delays
+    [s] driving ``c_load_f`` [f]."""
     t_hl = switch_event(inverter, c_load_f, falling=True, rtol=rtol).delay_s
     t_lh = switch_event(inverter, c_load_f, falling=False, rtol=rtol).delay_s
     return 0.5 * (t_hl + t_lh)

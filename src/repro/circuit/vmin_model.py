@@ -38,7 +38,9 @@ from ..errors import ModelDomainError, ParameterError
 
 def vmin_closed_form(ss_v_per_dec: float, n_stages: int = 30,
                      activity: float = 0.1, k_d: float = 0.69) -> float:
-    """Closed-form V_min [V] for a chain of ``n_stages`` at ``activity``.
+    """Closed-form V_min [V] for a chain of ``n_stages`` at
+    ``activity``, given the subthreshold swing ``ss_v_per_dec``
+    [v/dec].
 
     Raises
     ------
@@ -75,7 +77,8 @@ def vmin_closed_form(ss_v_per_dec: float, n_stages: int = 30,
 
 def k_vmin(ss_v_per_dec: float, n_stages: int = 30, activity: float = 0.1,
            k_d: float = 0.69) -> float:
-    """The paper's structure constant ``K_Vmin = V_min / S_S``.
+    """The paper's structure constant ``K_Vmin = V_min / S_S``
+    (``ss_v_per_dec`` [v/dec] cancels out).
 
     A pure function of the circuit (N, alpha, k_d) — this is the claim
     behind ``V_dd = V_min = K_Vmin * S_S`` in Section 2.3.3.
@@ -89,9 +92,10 @@ def energy_at_vmin_factor(ss_v_per_dec: float, c_load_f: float,
                           k_d: float = 0.69) -> float:
     """Eq. 8 energy per cycle at the closed-form V_min [J].
 
-    ``E = N C V_min^2 (alpha + K e^{-V_min/(m v_T)})`` — proportional to
-    ``C_L S_S^2`` with a structure-only prefactor, which is the paper's
-    Eq. 8(a)+(b).
+    ``E = N C V_min^2 (alpha + K e^{-V_min/(m v_T)})`` for swing
+    ``ss_v_per_dec`` [v/dec] and load ``c_load_f`` [f] — proportional
+    to ``C_L S_S^2`` with a structure-only prefactor, which is the
+    paper's Eq. 8(a)+(b).
     """
     if c_load_f <= 0.0:
         raise ParameterError("load capacitance must be positive")

@@ -62,19 +62,20 @@ class WireModel:
         )
 
     def capacitance(self, length_um: float) -> float:
-        """Total capacitance of a wire [F]."""
+        """Total capacitance [F] of a ``length_um`` [um] wire."""
         if length_um < 0.0:
             raise ParameterError("length must be >= 0")
         return self.c_f_per_um * length_um
 
     def resistance(self, length_um: float) -> float:
-        """Total resistance of a wire [ohm]."""
+        """Total resistance [ohm] of a ``length_um`` [um] wire."""
         if length_um < 0.0:
             raise ParameterError("length must be >= 0")
         return self.r_ohm_per_um * length_um
 
     def elmore_delay(self, length_um: float, c_load_f: float = 0.0) -> float:
-        """Distributed-RC Elmore delay of the wire [s].
+        """Distributed-RC Elmore delay [s] of a ``length_um`` [um]
+        wire into ``c_load_f`` [f].
 
         ``0.5 R_w C_w + R_w C_load`` — the standard first moment.
         """
@@ -87,10 +88,11 @@ class WireModel:
     def rc_negligible_below_um(self, gate_delay_s: float,
                                c_load_f: float = 0.0,
                                fraction: float = 0.1) -> float:
-        """Longest wire whose Elmore delay stays below ``fraction`` of a
-        gate delay — in sub-V_th circuits this is enormous (gates are
-        slow, wires are not), which is why the paper can ignore wire
-        *delay* while wire *capacitance* still costs energy."""
+        """Longest wire whose Elmore delay (into ``c_load_f`` [f])
+        stays below ``fraction`` of ``gate_delay_s`` [s] — in sub-V_th
+        circuits this is enormous (gates are slow, wires are not),
+        which is why the paper can ignore wire *delay* while wire
+        *capacitance* still costs energy."""
         if gate_delay_s <= 0.0:
             raise ParameterError("gate delay must be positive")
         if not 0.0 < fraction < 1.0:
@@ -105,7 +107,8 @@ class WireModel:
 
 def wire_energy_per_transition(model: WireModel, length_um: float,
                                vdd: float) -> float:
-    """Switching energy of a wire [J]: ``C_w V_dd^2`` per full cycle.
+    """Switching energy [J] of a ``length_um`` [um] wire:
+    ``C_w V_dd^2`` per full cycle.
 
     Wire capacitance sees the full supply swing and no weak-inversion
     relief, so at scaled nodes it becomes a growing share of sub-V_th

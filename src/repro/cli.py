@@ -17,6 +17,8 @@ Usage::
     repro serve --transport http --port 8337
     repro yield --vdd 0.2 0.25 0.3    # 6-sigma cell failure rates
     repro yield --mode snm --vdd 0.12 --strategy super-vth
+    repro array --rows 2 4 8 16       # column leakage/SNM vs height
+    repro array --study write --strategy super-vth --profile
     python -m repro run table2 # module form
 
 Exit codes: 0 success; 1 a reproduced claim failed to hold (or, for
@@ -299,6 +301,79 @@ def _cmd_yield(strategy: str, node: str, vdds: list[float], mode: str,
     return 0
 
 
+def _cmd_array(strategy: str, node: str, study: str, rows: list[int],
+               vdd: float, corners_mv: list[float], solver: str,
+               profile: bool) -> int:
+    """Array-scale column/gate characterisation on the batched engine."""
+    import numpy as np
+
+    from .circuit.gate_netlists import (gate_leakage, nand2_netlist,
+                                        nor2_netlist)
+    from .circuit.sram import SramCell
+    from .circuit.sram_array import (bitline_leakage_vs_height,
+                                     min_write_pulse, read_snm_vs_height,
+                                     write_trip_voltage)
+    from .errors import ParameterError
+
+    family = _family(strategy)
+    try:
+        design = family.design(node)
+    except (ParameterError, KeyError):
+        known = ", ".join(d.node.name for d in family.designs)
+        print(f"error: unknown node {node!r}; known nodes: {known}",
+              file=sys.stderr)
+        return 2
+    cell = SramCell(pulldown=design.nfet.with_width_um(2.0),
+                    pullup=design.pfet.with_width_um(1.0),
+                    access=design.nfet.with_width_um(1.0), vdd=vdd)
+    shifts = 1e-3 * np.array(corners_mv)
+    print(f"{strategy} {node} column @ {vdd:.2f} V, solver={solver}")
+    try:
+        if study in ("leakage", "all"):
+            leak = bitline_leakage_vs_height(cell, rows, solver=solver)
+            print("bitline leakage under loading (all cells storing 0):")
+            for n, i_bl, per in zip(leak.heights, leak.i_bl_a,
+                                    leak.per_cell_a):
+                print(f"  {n:4d} rows: I_bl = {i_bl:.3e} A "
+                      f"({per:.3e} A/cell)")
+        if study in ("read-snm", "all"):
+            heights, snm, pinned = read_snm_vs_height(cell, rows,
+                                                      solver=solver)
+            print("loaded read SNM ('1'-storing unaccessed rows):")
+            for n, s in zip(heights, snm):
+                print(f"  {n:4d} rows: SNM = {s * 1e3:.2f} mV")
+            print(f"  pinned-bitline limit: {pinned * 1e3:.2f} mV")
+        if study in ("write", "all"):
+            n_rows = rows[0]
+            trip = write_trip_voltage(cell, n_rows, dvth_n_v=shifts,
+                                      solver=solver)
+            pulse = min_write_pulse(cell, n_rows, dvth_n_v=shifts,
+                                    solver=solver)
+            print(f"write margins on a {n_rows}-row column, per "
+                  "access-NFET corner:")
+            for mv, t, w in zip(corners_mv, trip, pulse):
+                print(f"  dVth,n = {mv:+6.1f} mV: trip = {t:.4f} V, "
+                      f"min pulse = {w:.3e} s")
+        if study in ("gates", "all"):
+            for name, build in (("nand2", nand2_netlist),
+                                ("nor2", nor2_netlist)):
+                gate = build(design.nfet, design.pfet, vdd)
+                a = np.array([0.0, 0.0, vdd, vdd])
+                b = np.array([0.0, vdd, 0.0, vdd])
+                leak_g = gate_leakage(gate, {"a": a, "b": b},
+                                      solver=solver)
+                states = ", ".join(
+                    f"{int(x / vdd)}{int(y / vdd)}: {i:.2e} A"
+                    for x, y, i in zip(a, b, leak_g))
+                print(f"{name} truth-table leakage ({states})")
+    except ParameterError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if profile:
+        print(perf.report())
+    return 0
+
+
 def _cmd_grid_build(quick: bool, jobs: int, profile: bool,
                     validate_points: int) -> int:
     """Precompute, validate and spill the design-space grid tensors."""
@@ -511,6 +586,38 @@ def main(argv: list[str] | None = None) -> int:
                                    "sigma (default 10)")
     yield_parser.add_argument("--profile", action="store_true",
                               help="print perf counters after the run")
+    array_parser = sub.add_parser(
+        "array", help="characterise SRAM columns and gate netlists on "
+                      "the compiled batched MNA engine")
+    array_parser.add_argument("--strategy", default="sub-vth",
+                              help="super-vth or sub-vth (default "
+                                   "sub-vth)")
+    array_parser.add_argument("--node", default="32nm",
+                              help="technology node (default 32nm)")
+    array_parser.add_argument("--study",
+                              choices=("leakage", "read-snm", "write",
+                                       "gates", "all"),
+                              default="all",
+                              help="which characterisation to run "
+                                   "(default all)")
+    array_parser.add_argument("--rows", type=int, nargs="+",
+                              default=[2, 4, 8, 16], metavar="N",
+                              help="array heights to sweep (write "
+                                   "study uses the first; default "
+                                   "2 4 8 16)")
+    array_parser.add_argument("--vdd", type=float, default=0.30,
+                              metavar="V",
+                              help="column supply [V] (default 0.30)")
+    array_parser.add_argument("--corners-mv", type=float, nargs="+",
+                              default=[-20.0, 0.0, 20.0], metavar="MV",
+                              help="access-NFET dVth corners [mV] for "
+                                   "the write study (default -20 0 20)")
+    array_parser.add_argument("--solver", choices=("batch", "sequential"),
+                              default="batch",
+                              help="batched engine (default) or the "
+                                   "scalar sequential oracle")
+    array_parser.add_argument("--profile", action="store_true",
+                              help="print perf counters after the run")
     cards_parser = sub.add_parser(
         "cards", help="print a strategy family's model cards")
     cards_parser.add_argument("strategy", help="super-vth or sub-vth")
@@ -548,6 +655,11 @@ def main(argv: list[str] | None = None) -> int:
                           target_rel_err=args.target_rel_err,
                           r_max_sigma=args.r_max_sigma,
                           profile=args.profile)
+    if args.command == "array":
+        return _cmd_array(strategy=args.strategy, node=args.node,
+                          study=args.study, rows=args.rows,
+                          vdd=args.vdd, corners_mv=args.corners_mv,
+                          solver=args.solver, profile=args.profile)
     if args.command == "cards":
         return _cmd_cards(args.strategy)
     if args.command == "save-family":

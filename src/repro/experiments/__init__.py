@@ -46,6 +46,7 @@ from . import (  # noqa: F401  -- imported for registration side effect
     ext_sensitivity,
     ext_dvs,
     ext_yield,
+    ext_array,
     eq3,
     headlines,
 )

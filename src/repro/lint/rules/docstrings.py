@@ -7,10 +7,11 @@ enough there — the docstring is the contract text, and it must spell
 the unit out.
 
 The rule checks every public function (module-level, or a public
-method of a public class) in ``repro.service`` and
-``repro.variability`` (the rare-event yield engine is a served
-surface too: ``repro yield`` and the ``ext_yield`` experiment are
-driven straight off its docstrings): each parameter whose
+method of a public class) in ``repro.service``, ``repro.variability``
+(the rare-event yield engine is a served surface too: ``repro yield``
+and the ``ext_yield`` experiment are driven straight off its
+docstrings) and ``repro.circuit`` (the netlist/solver layer the
+batched array characterisations build on): each parameter whose
 name carries a unit suffix from the :mod:`repro.units` vocabulary
 (``l_poly_nm``, ``ioff_target_a_per_um``, ``vdd_v`` ...) must be
 mentioned in the function's docstring together with its bracketed
@@ -30,7 +31,7 @@ from ..engine import Rule, register
 from ..findings import Finding
 
 #: The packages whose public surface is a served contract.
-SERVICE_PACKAGES = frozenset({"service", "variability"})
+SERVICE_PACKAGES = frozenset({"service", "variability", "circuit"})
 
 
 def unit_bracket(name: str) -> str:
@@ -48,10 +49,10 @@ def unit_bracket(name: str) -> str:
 class ServiceDocstringUnitsRule(Rule):
     rule_id = "RPR010"
     title = "service docstring missing a parameter's unit"
-    rationale = ("repro.service and repro.variability are outward-facing "
-                 "contract surfaces; clients read the docstring, not the "
-                 "call site, so unit-suffixed parameters must be "
-                 "documented with their bracketed unit")
+    rationale = ("repro.service, repro.variability and repro.circuit are "
+                 "outward-facing contract surfaces; clients read the "
+                 "docstring, not the call site, so unit-suffixed "
+                 "parameters must be documented with their bracketed unit")
 
     def check_module(self, module: ModuleUnit,
                      context: ProjectContext) -> Iterator[Finding]:

@@ -59,7 +59,7 @@ _DIMENSIONLESS_RE = re.compile(
     r"|(?:^m$)"                             # slope factor m
     r"|(?:^(?:rel|normalized)_)"            # relative / normalised
     r"|(?:(?:^|_)(?:factor|ratio|fraction|pct|exponent|sigmas|effort"
-    r"|efforts|sizes)$)"
+    r"|efforts|sizes|taus)$)"
 )
 
 

@@ -86,6 +86,22 @@ Counter names in use
     all chunks; early stopping shows up as fewer trials).
 ``variability.tail_points``
     (V_dd, design) points estimated on failure-rate-vs-supply curves.
+``circuit.mna.batch_solves`` / ``circuit.mna.batch_lanes``
+    Compiled batched MNA solves (DC or transient calls) and the lanes
+    they carried (stimulus points x variation corners).
+``circuit.mna.newton_sweeps``
+    Batched damped-Newton sweeps executed (one stacked linear solve
+    each).
+``circuit.mna.active_lanes`` / ``circuit.mna.total_lanes``
+    Lanes the batched MNA Newton actually assembled vs lanes carried,
+    summed per sweep (active-set compression of the nodal engine).
+``circuit.mna.device_evals``
+    Vectorised device-current evaluations (transistor instances x
+    lanes, residual and finite-difference sweeps alike).
+``circuit.mna.transient_steps``
+    Accepted backward-Euler steps of the batched transient engine.
+``circuit.mna.sequential_solves``
+    Per-lane scalar NodalSolver solves run by the sequential oracle.
 
 The registry below mirrors this list; ``repro lint`` (rule RPR006)
 statically checks every ``perf.bump``/``perf.get`` call site against
@@ -141,6 +157,14 @@ KNOWN_COUNTERS: frozenset[str] = frozenset({
     "variability.shift_probes",
     "variability.estimator_trials",
     "variability.tail_points",
+    "circuit.mna.batch_solves",
+    "circuit.mna.batch_lanes",
+    "circuit.mna.newton_sweeps",
+    "circuit.mna.active_lanes",
+    "circuit.mna.total_lanes",
+    "circuit.mna.device_evals",
+    "circuit.mna.transient_steps",
+    "circuit.mna.sequential_solves",
 })
 
 #: Name families that may be built dynamically (f-string/concat call

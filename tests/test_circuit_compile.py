@@ -1,0 +1,124 @@
+"""Tests for the netlist compiler (Circuit -> index arrays)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.compile import compile_circuit
+from repro.circuit.netlist import Circuit
+from repro.errors import ParameterError
+
+VDD = 0.25
+
+
+def latch(nfet90, pfet90) -> Circuit:
+    c = Circuit()
+    c.add_vsource("vdd", "vdd", VDD)
+    c.add_vsource("vwl", "wl", 0.0)
+    c.add_inverter("i1", "q", "qb", "vdd", nfet90, pfet90)
+    c.add_inverter("i2", "qb", "q", "vdd", nfet90, pfet90)
+    c.add_mosfet("max", "bl", "wl", "q", nfet90)
+    c.add_resistor("rk", "vdd", "bl", 1e7)
+    c.add_capacitor("cq", "q", "0", 1e-15)
+    return c
+
+
+class TestNodeNumbering:
+    def test_unknowns_first_then_ground_then_sources(self, nfet90, pfet90):
+        compiled = compile_circuit(latch(nfet90, pfet90))
+        assert compiled.unknowns == tuple(
+            latch(nfet90, pfet90).unknown_nodes())
+        assert compiled.fixed[0] == "0"
+        assert set(compiled.fixed[1:]) == {"vdd", "wl"}
+        assert compiled.n_total == len(compiled.node_names)
+        assert compiled.n_unknown == len(compiled.unknowns)
+
+    def test_source_position_keyed_by_name_and_node(self, nfet90, pfet90):
+        compiled = compile_circuit(latch(nfet90, pfet90))
+        pos_by_name = compiled.source_position["vwl"]
+        pos_by_node = compiled.source_position["wl"]
+        assert pos_by_name == pos_by_node
+        assert compiled.fixed[pos_by_name] == "wl"
+        assert compiled.source_names[pos_by_name] == "vwl"
+
+    def test_fixed_base_evaluates_waveforms(self, nfet90, pfet90):
+        compiled = compile_circuit(latch(nfet90, pfet90))
+        base = compiled.fixed_base(0.0)
+        assert base[0] == 0.0  # ground
+        assert base[compiled.source_position["vdd"]] == VDD
+
+
+class TestLinearStamps:
+    def test_resistor_stamp_is_symmetric_conductance(self):
+        c = Circuit()
+        c.add_vsource("vs", "a", 1.0)
+        c.add_resistor("r1", "a", "b", 2e3)
+        c.add_resistor("r2", "b", "0", 2e3)
+        compiled = compile_circuit(c)
+        g = compiled.g_linear
+        b = compiled.unknowns.index("b")
+        assert g[b, b] == pytest.approx(1e-3)
+        assert np.allclose(g, g.T)
+        # Row sums vanish: conductance stamps are pure KCL.
+        assert np.allclose(g.sum(axis=1), 0.0)
+
+    def test_capacitor_stamp(self):
+        c = Circuit()
+        c.add_vsource("vs", "a", 1.0)
+        c.add_resistor("r1", "a", "b", 1e3)
+        c.add_capacitor("c1", "b", "0", 3e-15)
+        compiled = compile_circuit(c)
+        b = compiled.unknowns.index("b")
+        assert compiled.c_linear[b, b] == pytest.approx(3e-15)
+
+
+class TestTransistorGroups:
+    def test_shared_device_forms_one_group(self, nfet90, pfet90):
+        compiled = compile_circuit(latch(nfet90, pfet90))
+        # Three nfet90 instances share one model; two pfet90 likewise.
+        sizes = sorted(g.size for g in compiled.groups)
+        assert sizes == [2, 3]
+        for group in compiled.groups:
+            assert group.size == len(group.names)
+            assert group.drain_full.shape == (group.size,)
+
+    def test_fixed_terminals_map_to_discard_column(self, nfet90, pfet90):
+        compiled = compile_circuit(latch(nfet90, pfet90))
+        n = compiled.n_unknown
+        for group in compiled.groups:
+            for idx, cols in ((group.drain_full, group.drain_col),
+                              (group.source_full, group.source_col),
+                              (group.gate_full, group.gate_col)):
+                fixed_terminal = idx >= n
+                assert np.all(cols[fixed_terminal] == n)
+                assert np.all(cols[~fixed_terminal] == idx[~fixed_terminal])
+
+    def test_groups_in_name_sorted_first_occurrence_order(self, nfet90,
+                                                          pfet90):
+        compiled = compile_circuit(latch(nfet90, pfet90))
+        firsts = [g.names[0] for g in compiled.groups]
+        assert firsts == sorted(firsts)
+        for group in compiled.groups:
+            assert list(group.names) == sorted(group.names)
+
+
+class TestValidation:
+    def test_rejects_invalid_topology(self, nfet90):
+        c = Circuit()
+        c.add_vsource("vs", "a", 1.0)
+        c.add_resistor("r1", "a", "b", 1e3)
+        # "g" is gate-only and undriven: no KCL equation exists for it.
+        c.add_mosfet("m1", "b", "g", "0", nfet90)
+        with pytest.raises(ParameterError):
+            compile_circuit(c)
+
+    def test_compilation_does_not_mutate(self, nfet90, pfet90):
+        c = latch(nfet90, pfet90)
+        before = (len(c.sources), len(c.resistors), len(c.capacitors),
+                  len(c.transistors))
+        compile_circuit(c)
+        after = (len(c.sources), len(c.resistors), len(c.capacitors),
+                 len(c.transistors))
+        assert before == after
+        # Still extensible after compilation; recompiling picks it up.
+        c.add_resistor("rx", "q", "0", 1e9)
+        assert "rx" in [r.name for r in c.resistors]

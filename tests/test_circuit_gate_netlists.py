@@ -1,0 +1,102 @@
+"""Behavioral tests for the transistor-level gate netlists."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gate_netlists import (gate_delay, gate_leakage,
+                                         mux2_netlist, nand2_netlist,
+                                         nor2_netlist)
+from repro.circuit.mna_batch import solve_dc_batch
+from repro.errors import ParameterError
+
+VDD = 0.25
+
+
+def _logic_levels(gate, inputs):
+    """DC output voltage per lane of ``inputs``."""
+    result = solve_dc_batch(gate.circuit, stimulus=inputs)
+    return np.asarray(result[gate.output])
+
+
+class TestTruthTables:
+    def test_nand2(self, nfet90, pfet90):
+        gate = nand2_netlist(nfet90, pfet90, VDD)
+        a = np.array([0.0, 0.0, VDD, VDD])
+        b = np.array([0.0, VDD, 0.0, VDD])
+        y = _logic_levels(gate, {"a": a, "b": b})
+        assert np.all(y[:3] > 0.9 * VDD)
+        assert y[3] < 0.1 * VDD
+
+    def test_nor2(self, nfet90, pfet90):
+        gate = nor2_netlist(nfet90, pfet90, VDD)
+        a = np.array([0.0, 0.0, VDD, VDD])
+        b = np.array([0.0, VDD, 0.0, VDD])
+        y = _logic_levels(gate, {"a": a, "b": b})
+        assert y[0] > 0.9 * VDD
+        assert np.all(y[1:] < 0.1 * VDD)
+
+    def test_mux2_selects(self, nfet90, pfet90):
+        gate = mux2_netlist(nfet90, pfet90, VDD)
+        # sel = 0 -> y = d0, sel = 1 -> y = d1, for both data values.
+        d0 = np.array([0.0, VDD, 0.0, VDD])
+        d1 = np.array([VDD, 0.0, VDD, 0.0])
+        sel = np.array([0.0, 0.0, VDD, VDD])
+        y = _logic_levels(gate, {"d0": d0, "d1": d1, "sel": sel})
+        want = np.array([0.0, VDD, VDD, 0.0])
+        assert np.max(np.abs(y - want)) < 0.1 * VDD
+
+
+class TestLeakage:
+    def test_nand2_stacking_effect(self, nfet90, pfet90):
+        gate = nand2_netlist(nfet90, pfet90, VDD)
+        a = np.array([0.0, 0.0, VDD])
+        b = np.array([0.0, VDD, 0.0])
+        i_leak = gate_leakage(gate, {"a": a, "b": b})
+        both_low, only_a_low, only_b_low = i_leak
+        # Two off devices in series leak less than either alone: the
+        # stack node rises and reverse-biases the top device.
+        assert both_low < only_a_low
+        assert both_low < only_b_low
+
+    def test_corner_broadcasting(self, nfet90, pfet90):
+        gate = nor2_netlist(nfet90, pfet90, VDD)
+        corners = np.array([-0.02, 0.0, 0.02])
+        i_leak = gate_leakage(gate, {"a": VDD, "b": VDD},
+                              dvth_p_v=corners)
+        assert i_leak.shape == (3,)
+        # NOR2 at 11 leaks through the PFET stack; a lower |Vth,p|
+        # corner (more negative shift strengthens the PFET) leaks more.
+        assert i_leak[0] > i_leak[2]
+
+    def test_rejects_unknown_pin(self, nfet90, pfet90):
+        gate = nand2_netlist(nfet90, pfet90, VDD)
+        with pytest.raises(ParameterError):
+            gate_leakage(gate, {"z": 0.0})
+
+
+class TestDelay:
+    def test_controlling_edge_has_finite_delay(self, nfet90, pfet90):
+        gate = nand2_netlist(nfet90, pfet90, VDD)
+        delay = gate_delay(gate, "b", held={"a": VDD}, n_steps=64)
+        assert np.isfinite(delay)
+        assert float(delay) > 0.0
+
+    def test_non_controlling_edge_is_nan(self, nfet90, pfet90):
+        # With a = 0 the NAND output stays high whatever b does.
+        gate = nand2_netlist(nfet90, pfet90, VDD)
+        delay = gate_delay(gate, "b", held={"a": 0.0}, n_steps=64)
+        assert np.isnan(delay)
+
+    def test_corner_batch_shape(self, nfet90, pfet90):
+        gate = nand2_netlist(nfet90, pfet90, VDD)
+        corners = np.array([-0.02, 0.02])
+        delay = gate_delay(gate, "b", held={"a": VDD}, n_steps=64,
+                           dvth_n_v=corners)
+        assert delay.shape == (2,)
+        # Weaker NFETs (higher Vth) pull down more slowly.
+        assert delay[1] > delay[0]
+
+    def test_rejects_unknown_switch_input(self, nfet90, pfet90):
+        gate = nor2_netlist(nfet90, pfet90, VDD)
+        with pytest.raises(ParameterError):
+            gate_delay(gate, "z")

@@ -132,3 +132,53 @@ class TestTransient:
         c = inverter_circuit(nfet90, pfet90, 0.0)
         with pytest.raises(ParameterError):
             NodalSolver(c).solve_transient(0.0, 1e-9)
+
+
+class TestCrossingTimeEdges:
+    """Edge semantics of :meth:`TransientResult.crossing_time`."""
+
+    @staticmethod
+    def _result(values):
+        from repro.circuit.mna import TransientResult
+        wave = np.asarray(values, dtype=float)
+        return TransientResult(time_s=np.arange(wave.size, dtype=float),
+                               voltages={"n": wave})
+
+    def test_never_crossed_raises(self):
+        result = self._result([0.0, 0.1, 0.2])
+        with pytest.raises(ParameterError):
+            result.crossing_time("n", 0.5)
+
+    def test_constant_exactly_at_level_raises(self):
+        result = self._result([0.5, 0.5, 0.5])
+        with pytest.raises(ParameterError):
+            result.crossing_time("n", 0.5)
+
+    def test_starts_at_level_departing_up_is_t0(self):
+        result = self._result([0.5, 0.8, 0.9])
+        assert result.crossing_time("n", 0.5) == 0.0
+        assert result.crossing_time("n", 0.5, rising=True) == 0.0
+
+    def test_starts_at_level_wrong_direction_finds_later_crossing(self):
+        # Departs upward, so the *falling* crossing is the later 0.8->0.2
+        # segment, not t = 0.
+        result = self._result([0.5, 0.8, 0.2])
+        t_fall = result.crossing_time("n", 0.5, rising=False)
+        assert t_fall == pytest.approx(1.5)
+
+    def test_flat_start_at_level_still_t0(self):
+        # A plateau exactly at the level, then departure: the plateau's
+        # start is the crossing.
+        result = self._result([0.5, 0.5, 0.9])
+        assert result.crossing_time("n", 0.5, rising=True) == 0.0
+
+    def test_non_monotonic_takes_first_matching_crossing(self):
+        result = self._result([0.0, 0.8, 0.1, 0.9])
+        t_rise = result.crossing_time("n", 0.5, rising=True)
+        t_fall = result.crossing_time("n", 0.5, rising=False)
+        t_any = result.crossing_time("n", 0.5)
+        assert t_rise == pytest.approx(0.625)
+        assert t_fall == pytest.approx(1.0 + 0.3 / 0.7)
+        assert t_any == t_rise
+        # The second rising crossing (0.1 -> 0.9) is not the answer.
+        assert t_rise < 2.0

@@ -1,0 +1,148 @@
+"""Behavioral tests for the SRAM-column array workloads."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.sram import SramCell, read_snm
+from repro.circuit.sram_array import (bitline_leakage_vs_height,
+                                      build_column, default_keeper_ohms,
+                                      flip_time_scale_s, loaded_read_snm,
+                                      min_write_pulse, storage_node_cap_f,
+                                      write_trip_voltage)
+from repro.errors import ParameterError
+
+VDD = 0.25
+
+
+@pytest.fixture(scope="module")
+def cell(nfet90, pfet90):
+    return SramCell(pulldown=nfet90.with_width_um(2.0),
+                    pullup=pfet90.with_width_um(1.0),
+                    access=nfet90.with_width_um(1.0), vdd=VDD)
+
+
+class TestBuildColumn:
+    def test_basic_shape(self, cell):
+        col = build_column(cell, 3)
+        assert col.n_rows == 3
+        assert col.stored == (0, 0, 0)
+        names = {s.name for s in col.circuit.sources}
+        assert names == {"vdd", "wl0", "wl1", "wl2"}
+        # 6 transistors per row.
+        assert len(col.circuit.transistors) == 18
+        # Floating bitlines carry caps plus keepers.
+        cap_names = {c.name for c in col.circuit.capacitors}
+        assert {"cbl", "cblb"} <= cap_names
+
+    def test_stored_pattern_and_seed(self, cell):
+        col = build_column(cell, 3, stored=[1, 0, 1])
+        assert col.stored == (1, 0, 1)
+        seeds = col.seed()
+        assert seeds["q0"] == VDD and seeds["qb0"] == 0.0
+        assert seeds["q1"] == 0.0 and seeds["qb1"] == VDD
+        assert seeds["bl"] == VDD
+        assert col.seed(bl_v=0.0)["bl"] == 0.0
+
+    def test_drive_bitlines_replaces_caps_with_sources(self, cell):
+        col = build_column(cell, 2, drive_bitlines=True)
+        names = {s.name for s in col.circuit.sources}
+        assert {"vbl", "vblb"} <= names
+        assert not any(c.name in ("cbl", "cblb")
+                       for c in col.circuit.capacitors)
+
+    def test_probe_attaches_to_selected_row(self, cell):
+        col = build_column(cell, 4, selected_row=2, probe="qb")
+        probe = next(s for s in col.circuit.sources if s.name == "vprobe")
+        assert probe.node == "qb2"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_rows=0),
+        dict(n_rows=2, selected_row=2),
+        dict(n_rows=2, selected_row=-1),
+        dict(n_rows=2, stored=[0, 1, 0]),
+        dict(n_rows=2, r_keeper_ohms=0.0),
+        dict(n_rows=2, probe="x"),
+    ])
+    def test_rejects_bad_arguments(self, cell, kwargs):
+        n_rows = kwargs.pop("n_rows")
+        with pytest.raises(ParameterError):
+            build_column(cell, n_rows, **kwargs)
+
+
+class TestScales:
+    def test_keeper_sags_two_percent_per_cell(self, cell):
+        keeper = default_keeper_ohms(cell)
+        sag = keeper * cell.access.i_off(VDD)
+        assert sag == pytest.approx(0.02 * VDD)
+
+    def test_flip_time_scale_is_cv_over_ion(self, cell):
+        t = flip_time_scale_s(cell)
+        assert t == pytest.approx(storage_node_cap_f(cell) * VDD
+                                  / cell.access.i_on(VDD))
+        assert 0.0 < t < 1.0
+
+
+class TestLeakageLoading:
+    def test_per_cell_leakage_shrinks_with_height(self, cell):
+        out = bitline_leakage_vs_height(cell, (1, 2, 4, 8))
+        assert out.heights == (1, 2, 4, 8)
+        # Total grows, bitline sags, per-cell share strictly falls:
+        # the loading effect of Mukhopadhyay et al.
+        assert np.all(np.diff(out.i_bl_a) > 0.0)
+        assert np.all(np.diff(out.v_bl) < 0.0)
+        assert np.all(np.diff(out.per_cell_a) < 0.0)
+
+    def test_leakage_total_is_sublinear(self, cell):
+        out = bitline_leakage_vs_height(cell, (1, 8))
+        assert out.i_bl_a[1] < 8.0 * out.i_bl_a[0]
+
+    def test_vth_corner_moves_leakage(self, cell):
+        lo = bitline_leakage_vs_height(cell, (4,), dvth_n_v=+0.02)
+        hi = bitline_leakage_vs_height(cell, (4,), dvth_n_v=-0.02)
+        assert hi.i_bl_a[0] > lo.i_bl_a[0]
+
+
+class TestReadSnm:
+    def test_loaded_snm_between_zero_and_pinned(self, cell):
+        snm2 = loaded_read_snm(cell, 2, n_points=15)
+        pinned = read_snm(cell)
+        assert 0.0 < pinned < snm2 < VDD / 2.0
+
+    def test_snm_degrades_with_height(self, cell):
+        snm2 = loaded_read_snm(cell, 2, n_points=15)
+        snm8 = loaded_read_snm(cell, 8, n_points=15)
+        assert snm8 < snm2
+
+    def test_rejects_too_few_points(self, cell):
+        with pytest.raises(ParameterError):
+            loaded_read_snm(cell, 2, n_points=4)
+
+
+class TestWrite:
+    def test_trip_voltage_within_rail(self, cell):
+        trip = write_trip_voltage(cell, 2, ramp_taus=20.0, n_steps=60)
+        assert 0.0 < float(trip) < VDD
+
+    def test_trip_falls_with_weaker_access(self, cell):
+        # Corners stay <= 0: at this 0.25 V cell the nominal trip is
+        # already near ground, so a weakening corner would push it off
+        # the ramp entirely (nan).
+        corners = np.array([-0.03, -0.015, 0.0])
+        trips = write_trip_voltage(cell, 2, dvth_n_v=corners,
+                                   ramp_taus=20.0, n_steps=60)
+        assert trips.shape == (3,)
+        # A weaker (higher-Vth) access device needs the bitline pulled
+        # further down before the cell flips.
+        assert trips[2] < trips[1] < trips[0]
+
+    def test_min_pulse_positive_and_monotone(self, cell):
+        corners = np.array([-0.02, 0.02])
+        widths = min_write_pulse(cell, 2, dvth_n_v=corners,
+                                 n_probes=4, n_steps=24)
+        assert np.all(np.isfinite(widths))
+        assert np.all(widths > 0.0)
+        assert widths[1] >= widths[0]
+
+    def test_min_pulse_rejects_bad_horizon(self, cell):
+        with pytest.raises(ParameterError):
+            min_write_pulse(cell, 2, t_max_s=0.0)

@@ -355,6 +355,18 @@ class TestRpr010ServiceDocstringUnits:
         assert active_ids(report) == ["RPR010"]
         assert "[s]" in report.active[0].message
 
+    def test_circuit_package_is_a_served_surface(self, tmp_path):
+        # The netlist/solver layer joined the RPR010 surface with the
+        # batched array characterisations.
+        report = lint_fixture(tmp_path, {
+            "src/repro/circuit/x.py": """
+                def leak(r_keeper_ohms: float) -> float:
+                    '''Bitline current through the keeper.'''
+                    return 0.3 / r_keeper_ohms
+            """})
+        assert active_ids(report) == ["RPR010"]
+        assert "[ohms]" in report.active[0].message
+
     def test_other_packages_and_private_names_exempt(self, tmp_path):
         report = lint_fixture(tmp_path, {
             "src/repro/analysis/x.py": """

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.circuit.compile import compile_circuit
 from repro.circuit.mna import NodalSolver
+from repro.circuit.mna_batch import solve_dc_batch
 from repro.circuit.netlist import Circuit
 from repro.device import nfet
 from repro.io import device_from_dict, device_to_dict
@@ -48,6 +50,68 @@ class TestMnaLinearProperties:
         r_par = r1 * r2 / (r1 + r2)
         expected = v_src * r_par / (1e3 + r_par)
         assert result["mid"] == pytest.approx(expected, rel=1e-5, abs=1e-9)
+
+
+class TestInsertionOrderInvariance:
+    """Canonical compilation: element insertion order is irrelevant.
+
+    The compiler sorts elements by name before stamping, so two
+    circuits with identical elements added in any order lower to
+    bitwise-identical stamp matrices — and the batched DC solve is
+    bitwise-reproducible across orders, not merely close.
+    """
+
+    @staticmethod
+    def _latch_elements(device):
+        vdd = 0.25
+        return vdd, [
+            ("vsource", "vdd", ("vdd", vdd)),
+            ("vsource", "vwl", ("wl", 0.0)),
+            ("resistor", "rk", ("vdd", "bl", 1e7)),
+            ("mosfet", "m1", ("q", "qb", "0", device)),
+            ("mosfet", "m2", ("qb", "q", "0", device)),
+            ("mosfet", "max", ("bl", "wl", "q", device)),
+            ("resistor", "r1", ("vdd", "q", 5e7)),
+            ("resistor", "r2", ("vdd", "qb", 5e7)),
+            ("capacitor", "cq", ("q", "0", 1e-15)),
+        ]
+
+    @staticmethod
+    def _build(elements):
+        c = Circuit()
+        adders = {"vsource": c.add_vsource, "resistor": c.add_resistor,
+                  "capacitor": c.add_capacitor, "mosfet": c.add_mosfet}
+        for kind, name, args in elements:
+            adders[kind](name, *args)
+        return c
+
+    @settings(max_examples=10, deadline=None)
+    @given(order=st.permutations(range(9)))
+    def test_permuted_build_is_bitwise_identical(self, order):
+        device = nfet(65, 2.1, 1.2e18, 1.5e18)
+        vdd, elements = self._latch_elements(device)
+        reference = compile_circuit(self._build(elements))
+        permuted = compile_circuit(
+            self._build([elements[i] for i in order]))
+        assert permuted.unknowns == reference.unknowns
+        assert permuted.fixed == reference.fixed
+        assert np.array_equal(permuted.g_linear, reference.g_linear)
+        assert np.array_equal(permuted.c_linear, reference.c_linear)
+        assert len(permuted.groups) == len(reference.groups)
+        for got, want in zip(permuted.groups, reference.groups):
+            assert got.names == want.names
+            assert np.array_equal(got.drain_full, want.drain_full)
+            assert np.array_equal(got.gate_full, want.gate_full)
+            assert np.array_equal(got.source_full, want.source_full)
+        seeds = {"q": 0.0, "qb": vdd}
+        base = solve_dc_batch(self._build(elements),
+                              stimulus={"vwl": np.array([0.0, vdd])},
+                              initial=seeds)
+        swapped = solve_dc_batch(self._build([elements[i] for i in order]),
+                                 stimulus={"vwl": np.array([0.0, vdd])},
+                                 initial=seeds)
+        for node in base.voltages:
+            assert np.array_equal(base[node], swapped[node])
 
 
 class TestDeviceSerializationProperties:

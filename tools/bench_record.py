@@ -2,7 +2,7 @@
 
 Runs a bench suite under pytest-benchmark and distils the
 machine-readable results into a small summary at the repository root.
-Three suites exist:
+The suites:
 
 * ``kernels`` — the hot device/TCAD kernels
   (``benchmarks/test_bench_kernels.py`` plus the raw super-V_th
@@ -19,7 +19,12 @@ Three suites exist:
 * ``variability`` — the rare-event yield engine
   (``benchmarks/test_bench_variability.py``: QMC-IS pipeline, shift
   search, the >= 100x equal-accuracy speedup gate vs brute force, and
-  the ``ext_yield`` experiment) -> ``BENCH_variability.json``.
+  the ``ext_yield`` experiment) -> ``BENCH_variability.json``;
+* ``arrays`` — the compiled batched MNA engine
+  (``benchmarks/test_bench_arrays.py``: the 512-lane SRAM-column DC
+  workload, its >= 10x per-lane speedup gate vs the looped
+  NodalSolver oracle, the binary-searched write pulse, and the
+  ``ext_array`` experiment) -> ``BENCH_arrays.json``.
 
 Committing the summary after perf-relevant PRs builds up the
 performance trajectory of the project; CI runs the same script with
@@ -80,6 +85,10 @@ SUITES = {
     "variability": {
         "targets": ("benchmarks/test_bench_variability.py",),
         "output": "BENCH_variability.json",
+    },
+    "arrays": {
+        "targets": ("benchmarks/test_bench_arrays.py",),
+        "output": "BENCH_arrays.json",
     },
 }
 
