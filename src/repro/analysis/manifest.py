@@ -247,7 +247,7 @@ class RunManifest:
         the perf counters, wall time, schema hash and claim outcomes —
         the auditable companion to the generated markdown.
         """
-        experiments = {}
+        experiments: dict[str, dict] = {}
         for record in sorted(self.records, key=lambda r: r.experiment_id):
             entry = record.to_dict()
             entry.pop("schema")

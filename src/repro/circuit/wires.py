@@ -79,11 +79,11 @@ class WireModel:
 
         ``0.5 R_w C_w + R_w C_load`` — the standard first moment.
         """
-        r_w = self.resistance(length_um)
-        c_w = self.capacitance(length_um)
+        r_wire_ohm = self.resistance(length_um)
+        c_wire_f = self.capacitance(length_um)
         if c_load_f < 0.0:
             raise ParameterError("load capacitance must be >= 0")
-        return 0.5 * r_w * c_w + r_w * c_load_f
+        return 0.5 * r_wire_ohm * c_wire_f + r_wire_ohm * c_load_f
 
     def rc_negligible_below_um(self, gate_delay_s: float,
                                c_load_f: float = 0.0,

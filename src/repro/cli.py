@@ -489,9 +489,11 @@ def main(argv: list[str] | None = None) -> int:
     lint_parser.add_argument("paths", nargs="*", metavar="PATH",
                              help="files/directories to check (default: "
                                   "all library sources under src/repro)")
-    lint_parser.add_argument("--format", choices=("text", "json"),
+    lint_parser.add_argument("--format", choices=("text", "json", "sarif"),
                              default="text", dest="output_format",
-                             help="findings output format (default: text)")
+                             help="findings output format (default: text; "
+                                  "sarif emits a SARIF 2.1.0 log for "
+                                  "code-scanning upload)")
     lint_parser.add_argument("--root", metavar="DIR",
                              help="repository root (default: inferred "
                                   "from the package location)")
@@ -502,6 +504,12 @@ def main(argv: list[str] | None = None) -> int:
     lint_parser.add_argument("--update-baseline", action="store_true",
                              help="rewrite the baseline to cover the "
                                   "current findings, then exit 0")
+    lint_parser.add_argument("--explain", metavar="RULE",
+                             help="print a rule's catalogue entry and "
+                                  "every matching finding with its "
+                                  "derivation chain; positional args "
+                                  "select findings (fingerprint prefix "
+                                  "or path[:line])")
     grid_parser = sub.add_parser(
         "grid", help="manage precomputed design-space grid tensors")
     grid_sub = grid_parser.add_subparsers(dest="grid_command",
@@ -637,7 +645,8 @@ def main(argv: list[str] | None = None) -> int:
                                 output_format=args.output_format,
                                 root=args.root,
                                 baseline_path=args.baseline,
-                                update_baseline=args.update_baseline)
+                                update_baseline=args.update_baseline,
+                                explain=args.explain)
     if args.command == "grid":
         return _cmd_grid_build(quick=args.quick, jobs=args.jobs,
                                profile=args.profile,

@@ -273,7 +273,9 @@ class ParameterStack:
         return out_n.reshape(shape), out_w.reshape(shape)
 
     def metrics(self, n_sub_cm3, n_p_halo_cm3) -> "BatchDeviceMetrics":
-        """Evaluate the stack at one (N_sub, N_p,halo) assignment."""
+        """Evaluate the stack at one (N_sub, N_p,halo) assignment:
+        ``n_sub_cm3`` [cm3] substrate doping, ``n_p_halo_cm3`` [cm3]
+        halo peak (0 disables the halo)."""
         n_sub, peak, _ = np.broadcast_arrays(
             np.asarray(n_sub_cm3, dtype=float),
             np.asarray(n_p_halo_cm3, dtype=float),
@@ -437,7 +439,11 @@ def device_metrics(l_poly_nm, t_ox_nm, n_sub_cm3, n_p_halo_cm3=0.0, *,
     """One-shot parameter-axis evaluation (convenience wrapper).
 
     Maps arrays of (N_sub, N_p,halo, L_poly, ...) to vectorised device
-    metrics without constructing per-point MOSFET objects:
+    metrics without constructing per-point MOSFET objects.  Geometry
+    arrives as ``l_poly_nm`` [nm] / ``t_ox_nm`` [nm] / ``width_um``
+    [um] against the ``reference_nm`` [nm] node; doping as
+    ``n_sub_cm3`` [cm3] and ``n_p_halo_cm3`` [cm3]; the stack is
+    evaluated at ``temperature_k`` [K]:
 
     >>> import numpy as np
     >>> m = device_metrics(65.0, 2.1, np.array([5e17, 1e18, 2e18]))

@@ -115,7 +115,8 @@ class CapacitanceModel:
         return float(out) if np.isscalar(vdd) else out
 
     def c_junction(self, bias_v: float = 0.0) -> float:
-        """Drain-junction depletion capacitance at the given reverse bias [F].
+        """Drain-junction depletion capacitance [F] at reverse bias
+        ``bias_v`` [V].
 
         Area component over the drain diffusion footprint plus a
         sidewall component along the width, both from the abrupt
@@ -133,13 +134,15 @@ class CapacitanceModel:
         return cj_area * (area + sidewall)
 
     def c_drain(self, bias_v: float = 0.0) -> float:
-        """Drain-node self-loading: junction + drain-side overlap/fringe [F]."""
+        """Drain-node self-loading at reverse bias ``bias_v`` [V]:
+        junction + drain-side overlap/fringe [F]."""
         return (self.c_junction(bias_v) + 0.5 * self.c_overlap
                 + 0.5 * self.c_fringe)
 
     def c_load_fanout(self, fanout: int = 1, receiver: "CapacitanceModel | None"
                       = None, bias_v: float = 0.0) -> float:
-        """Load on the drain node when driving ``fanout`` identical gates [F].
+        """Load on the drain node when driving ``fanout`` identical gates
+        [F], with the junction at reverse bias ``bias_v`` [V].
 
         ``C_L = fanout * C_g(receiver) + C_drain(self)``; the receiver
         defaults to this device (FO1 self-loading).

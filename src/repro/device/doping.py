@@ -76,7 +76,8 @@ class HaloImplant:
     @classmethod
     def for_geometry(cls, geometry: DeviceGeometry, peak_cm3: float
                      ) -> "HaloImplant":
-        """Halo pockets sized from the geometry's junction depth."""
+        """Halo pockets sized from the geometry's junction depth, with
+        peak doping ``peak_cm3`` [cm3]."""
         xj = geometry.junction_depth_cm
         if xj <= 0.0:
             raise ParameterError(
@@ -91,7 +92,8 @@ class HaloImplant:
         )
 
     def lateral_average(self, l_eff_cm: float) -> float:
-        """Average lateral halo weight over the channel [dimensionless * peak].
+        """Average lateral halo weight over a channel of ``l_eff_cm``
+        [cm] — dimensionless times the peak.
 
         The two pockets contribute
         ``(peak / L) * integral_0^L [exp(-x^2/2s^2) + exp(-(x-L)^2/2s^2)] dx``
@@ -106,7 +108,7 @@ class HaloImplant:
                 * math.erf(l_eff_cm / (math.sqrt(2.0) * s)) / l_eff_cm)
 
     def vertical_weight(self, depth_cm: np.ndarray | float) -> np.ndarray | float:
-        """Vertical Gaussian weight (0..1) at the given depth(s)."""
+        """Vertical Gaussian weight (0..1) at depth(s) ``depth_cm`` [cm]."""
         y = np.asarray(depth_cm, dtype=float)
         w = np.exp(-((y - self.depth_cm) ** 2) / (2.0 * self.sigma_y_cm ** 2))
         if np.isscalar(depth_cm):
@@ -114,7 +116,7 @@ class HaloImplant:
         return w
 
     def vertical_average(self, depth_limit_cm: float) -> float:
-        """Average vertical weight over depths 0..``depth_limit_cm``.
+        """Average vertical weight over depths 0..``depth_limit_cm`` [cm].
 
         ``(1/W) * integral_0^W exp(-(y-y0)^2 / 2*sy^2) dy`` in closed form
         via the error function.
@@ -176,11 +178,11 @@ class DopingProfile:
 
     def effective_channel_doping(self, l_eff_cm: float,
                                  depth_limit_cm: float | None = None) -> float:
-        """Channel-averaged doping ``N_eff(L)`` [cm^-3].
+        """Channel-averaged doping ``N_eff(L)`` [cm3].
 
-        Averages the 2-D profile laterally over the channel and
-        vertically over ``depth_limit_cm`` (typically the depletion
-        width).  When no depth limit is given the vertical average is
+        Averages the 2-D profile laterally over the ``l_eff_cm`` [cm]
+        channel and vertically over ``depth_limit_cm`` [cm] (typically
+        the depletion width).  When no depth limit is given the vertical average is
         taken at the halo's most effective depth (weight 1), which
         over-weights the halo slightly and is useful as a conservative
         starting point for fixed-point iteration with the depletion
@@ -197,7 +199,8 @@ class DopingProfile:
 
     def vertical_profile(self, depths_cm: np.ndarray, l_eff_cm: float
                          ) -> np.ndarray:
-        """1-D vertical doping cut N(y) [cm^-3], channel-averaged laterally.
+        """1-D vertical doping cut N(y) [cm3] at depths ``depths_cm``
+        [cm], averaged laterally over the ``l_eff_cm`` [cm] channel.
 
         This is the profile handed to the 1-D Poisson solver: at each
         depth the halo contribution is its vertical Gaussian weight
@@ -216,8 +219,9 @@ class DopingProfile:
                  ) -> np.ndarray:
         """Full 2-D doping map N(x, y) on a lateral x vertical grid.
 
-        ``x`` runs along the channel (0 at the source edge,
-        ``l_eff_cm`` at the drain edge), ``y`` into the substrate.
+        ``x_cm`` [cm] runs along the channel (0 at the source edge,
+        ``l_eff_cm`` [cm] at the drain edge), ``y_cm`` [cm] into the
+        substrate.
         Used for visualisation (the paper's Fig. 1b) and for sanity
         checks of the analytic reductions against brute-force averages.
         """
@@ -235,11 +239,12 @@ class DopingProfile:
     # -- transforms -------------------------------------------------------
 
     def with_substrate(self, n_sub_cm3: float) -> "DopingProfile":
-        """Return a copy with a new substrate doping."""
+        """Return a copy with substrate doping ``n_sub_cm3`` [cm3]."""
         return replace(self, n_sub_cm3=n_sub_cm3)
 
     def with_halo_peak(self, peak_cm3: float) -> "DopingProfile":
-        """Return a copy with a new halo peak (halo geometry preserved)."""
+        """Return a copy with halo peak ``peak_cm3`` [cm3] (halo
+        geometry preserved)."""
         if self.halo is None:
             raise ParameterError(
                 "profile has no halo; construct one with HaloImplant first"

@@ -20,13 +20,17 @@ from ..materials.silicon import bandgap_ev, fermi_potential
 
 def surface_potential_threshold(doping_cm3: float,
                                 temperature_k: float = T_ROOM) -> float:
-    """Surface potential at the classical threshold condition, ``2 phi_F``."""
+    """Surface potential [V] at the classical threshold condition
+    ``2 phi_F``, for body doping ``doping_cm3`` [cm3] at
+    ``temperature_k`` [K]."""
     return 2.0 * fermi_potential(doping_cm3, temperature_k)
 
 
 def depletion_width(doping_cm3: float, surface_potential_v: float | None = None,
                     temperature_k: float = T_ROOM) -> float:
-    """Depletion width [cm] at the given surface potential.
+    """Depletion width [cm] at surface potential
+    ``surface_potential_v`` [V], body doping ``doping_cm3`` [cm3],
+    ``temperature_k`` [K].
 
     Defaults to the maximum depletion width at threshold
     (``psi_s = 2 phi_F``): ``W_dep = sqrt(2 eps_si psi_s / (q N))``.
@@ -43,13 +47,16 @@ def depletion_width(doping_cm3: float, surface_potential_v: float | None = None,
 def depletion_capacitance(doping_cm3: float,
                           surface_potential_v: float | None = None,
                           temperature_k: float = T_ROOM) -> float:
-    """Depletion capacitance per area ``C_dep = eps_si / W_dep`` [F/cm^2]."""
+    """Depletion capacitance per area ``C_dep = eps_si / W_dep``
+    [F/cm2] at ``surface_potential_v`` [V], body doping
+    ``doping_cm3`` [cm3], ``temperature_k`` [K]."""
     return EPS_SI / depletion_width(doping_cm3, surface_potential_v,
                                     temperature_k)
 
 
 def body_factor(doping_cm3: float, stack: GateStack) -> float:
-    """Body-effect coefficient ``gamma = sqrt(2 q eps_si N) / C_ox`` [V^0.5]."""
+    """Body-effect coefficient ``gamma = sqrt(2 q eps_si N) / C_ox``
+    [V^0.5] for body doping ``doping_cm3`` [cm3]."""
     if doping_cm3 <= 0.0:
         raise ParameterError(f"doping must be positive, got {doping_cm3}")
     return math.sqrt(2.0 * Q * EPS_SI * doping_cm3) / stack.capacitance_per_area
@@ -57,7 +64,8 @@ def body_factor(doping_cm3: float, stack: GateStack) -> float:
 
 def slope_factor(doping_cm3: float, stack: GateStack,
                  temperature_k: float = T_ROOM) -> float:
-    """Subthreshold slope factor ``m = 1 + C_dep / C_ox``.
+    """Subthreshold slope factor ``m = 1 + C_dep / C_ox`` for body
+    doping ``doping_cm3`` [cm3] at ``temperature_k`` [K].
 
     Using the EOT, ``C_dep/C_ox = (eps_si/eps_ox) * T_ox / W_dep =
     3 * T_ox / W_dep`` — the ``3 T_ox / W_dep`` term of the paper's
@@ -70,7 +78,8 @@ def slope_factor(doping_cm3: float, stack: GateStack,
 
 def flatband_voltage(doping_cm3: float, temperature_k: float = T_ROOM,
                      gate: str = "n+poly") -> float:
-    """Flat-band voltage of a degenerate poly gate over a doped body [V].
+    """Flat-band voltage [V] of a degenerate poly gate over a body
+    doped ``doping_cm3`` [cm3] at ``temperature_k`` [K].
 
     For an n+ poly gate on a p-type body,
     ``V_FB = -(E_g/2 + phi_F)``; a p+ gate on an n-type body gives the
@@ -89,7 +98,8 @@ def self_consistent_channel_doping(profile, l_eff_cm: float,
                                    temperature_k: float = T_ROOM,
                                    tol: float = 1e-4,
                                    max_iter: int = 60) -> tuple[float, float]:
-    """Solve the N_eff <-> W_dep fixed point for a halo'd channel.
+    """Solve the N_eff <-> W_dep fixed point for a halo'd channel of
+    length ``l_eff_cm`` [cm] at ``temperature_k`` [K].
 
     The halo contribution to the channel-average doping depends on the
     depth over which the average is taken (the depletion width), which
@@ -126,5 +136,6 @@ def effective_vertical_field(vgs: float, vth: float, stack: GateStack) -> float:
 
 
 def thermal_voltage_v(temperature_k: float = T_ROOM) -> float:
-    """Alias of :func:`repro.constants.thermal_voltage` for device code."""
+    """``kT/q`` [V] at ``temperature_k`` [K] — alias of
+    :func:`repro.constants.thermal_voltage` for device code."""
     return thermal_voltage(temperature_k)

@@ -93,9 +93,10 @@ class DeviceGeometry:
     @classmethod
     def proportional(cls, l_poly_cm: float, width_cm: float = CM_PER_UM,
                      reference_cm: float | None = None) -> "DeviceGeometry":
-        """Geometry with all dimensions proportional to a reference length.
+        """Geometry with all dimensions proportional to a reference length:
+        gate ``l_poly_cm`` [cm], device ``width_cm`` [cm].
 
-        ``reference_cm`` defaults to ``l_poly_cm`` (the super-V_th
+        ``reference_cm`` [cm] defaults to ``l_poly_cm`` (the super-V_th
         convention).  Passing a different reference implements the
         sub-V_th convention, where junctions/overlap follow the *node*
         scaling while the gate is drawn longer.
@@ -115,7 +116,8 @@ class DeviceGeometry:
     @classmethod
     def from_nm(cls, l_poly_nm: float, width_um: float = 1.0,
                 reference_nm: float | None = None) -> "DeviceGeometry":
-        """Proportional geometry from nanometre inputs (convenience)."""
+        """Proportional geometry from ``l_poly_nm`` / ``reference_nm``
+        [nm] and ``width_um`` [um] inputs (convenience)."""
         ref = None if reference_nm is None else nm_to_cm(reference_nm)
         return cls.proportional(
             nm_to_cm(l_poly_nm), width_cm=width_um * CM_PER_UM, reference_cm=ref
@@ -152,7 +154,7 @@ class DeviceGeometry:
 
     def with_gate_length(self, l_poly_cm: float,
                          rescale_parasitics: bool = False) -> "DeviceGeometry":
-        """Return a copy with a new gate length.
+        """Return a copy with gate length ``l_poly_cm`` [cm].
 
         When ``rescale_parasitics`` is true, junction depth, overlap,
         extension and gate height are re-derived proportionally from the
@@ -165,7 +167,7 @@ class DeviceGeometry:
         return replace(self, l_poly_cm=l_poly_cm)
 
     def with_width(self, width_cm: float) -> "DeviceGeometry":
-        """Return a copy with a new device width."""
+        """Return a copy with device width ``width_cm`` [cm]."""
         return replace(self, width_cm=width_cm)
 
     def scaled(self, factor: float) -> "DeviceGeometry":

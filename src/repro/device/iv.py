@@ -163,7 +163,7 @@ class IVModel:
         (the model is source-referenced; the MOSFET facade handles the
         swap for reverse operation).
 
-        ``vth_shift_v`` is an additive V_th perturbation applied per
+        ``vth_shift_v`` [V] is an additive V_th perturbation applied per
         evaluation point; an array here is equivalent to evaluating a
         :meth:`vth`-offset copy of the device at each element (the
         offset enters only through V_th, never ``i_spec``), which is

@@ -155,7 +155,7 @@ class MOSFET:
         """Drain current [A] for source-referenced voltage magnitudes.
 
         For a PFET pass ``vgs = V_sg`` and ``vds = V_sd`` (both
-        positive in normal operation).  ``vth_shift_v`` perturbs V_th
+        positive in normal operation).  ``vth_shift_v`` [V] perturbs V_th
         per evaluation point (array-native Monte Carlo; see
         :meth:`IVModel.ids`).
         """
@@ -212,13 +212,14 @@ class MOSFET:
         return replace(self, geometry=geometry)
 
     def with_width_um(self, width_um: float) -> "MOSFET":
-        """Copy resized to the given width in µm."""
+        """Copy resized to ``width_um`` [um]."""
         return replace(
             self, geometry=self.geometry.with_width(width_um * CM_PER_UM)
         )
 
     def with_vth_offset(self, offset_v: float) -> "MOSFET":
-        """Copy with an additive V_th perturbation (variability studies)."""
+        """Copy with an additive V_th perturbation ``offset_v`` [V]
+        (variability studies)."""
         return replace(self, vth_offset_v=offset_v)
 
 
@@ -262,6 +263,11 @@ def nfet(l_poly_nm: float, t_ox_nm: float, n_sub_cm3: float,
          temperature_k: float = T_ROOM) -> MOSFET:
     """Build an NFET from nanometre-scale inputs.
 
+    Geometry: gate ``l_poly_nm`` [nm], oxide ``t_ox_nm`` [nm],
+    ``width_um`` [um], parasitics scaled from ``reference_nm``
+    [nm].  Doping: substrate ``n_sub_cm3`` [cm3], halo peak
+    ``n_p_halo_cm3`` [cm3].  Evaluated at ``temperature_k`` [K].
+
     >>> dev = nfet(l_poly_nm=65, t_ox_nm=2.1, n_sub_cm3=1.5e18,
     ...            n_p_halo_cm3=2.1e18)
     >>> 0.06 < dev.ss_v_per_dec < 0.11
@@ -275,6 +281,12 @@ def pfet(l_poly_nm: float, t_ox_nm: float, n_sub_cm3: float,
          n_p_halo_cm3: float = 0.0, width_um: float = 2.0,
          reference_nm: float | None = None,
          temperature_k: float = T_ROOM) -> MOSFET:
-    """Build a PFET; the default width compensates hole mobility."""
+    """Build a PFET; the default width compensates hole mobility.
+
+    Geometry: gate ``l_poly_nm`` [nm], oxide ``t_ox_nm`` [nm],
+    ``width_um`` [um], parasitics scaled from ``reference_nm``
+    [nm].  Doping: substrate ``n_sub_cm3`` [cm3], halo peak
+    ``n_p_halo_cm3`` [cm3].  Evaluated at ``temperature_k`` [K].
+    """
     return _build(Polarity.PFET, l_poly_nm, t_ox_nm, n_sub_cm3,
                   n_p_halo_cm3, width_um, reference_nm, temperature_k)

@@ -40,7 +40,8 @@ SCE_PREFACTOR_DEFAULT: float = 8.0
 
 
 def slope_factor_from_widths(t_ox_eot_cm: float, w_dep_cm: float) -> float:
-    """Long-channel slope factor ``m = 1 + 3 T_ox / W_dep``."""
+    """Long-channel slope factor ``m = 1 + 3 T_ox / W_dep`` from
+    ``t_ox_eot_cm`` [cm] and ``w_dep_cm`` [cm]."""
     if t_ox_eot_cm <= 0.0 or w_dep_cm <= 0.0:
         raise ParameterError("T_ox and W_dep must be positive")
     return 1.0 + _EPS_RATIO * t_ox_eot_cm / w_dep_cm
@@ -50,7 +51,8 @@ def short_channel_slope_degradation(t_ox_eot_cm: float, w_dep_cm: float,
                                     l_eff_cm: float,
                                     prefactor: float | None = None
                                     ) -> float:
-    """The second parenthesis of Eq. 2(b) (>= 1).
+    """The second parenthesis of Eq. 2(b) (>= 1), from
+    ``t_ox_eot_cm`` / ``w_dep_cm`` / ``l_eff_cm`` [cm].
 
     ``prefactor=None`` resolves the module-level
     :data:`SCE_PREFACTOR_DEFAULT` at call time, so calibration-
@@ -73,7 +75,9 @@ def inverse_subthreshold_slope(stack: GateStack, w_dep_cm: float,
                                temperature_k: float = T_ROOM,
                                prefactor: float | None = None
                                ) -> float:
-    """Inverse subthreshold slope S_S [V/decade] per the paper's Eq. 2(b).
+    """Inverse subthreshold slope S_S [V/decade] per the paper's Eq. 2(b),
+    from ``w_dep_cm`` [cm] and ``l_eff_cm`` [cm] at ``temperature_k``
+    [K].
 
     Pass ``l_eff_cm=None`` for the long-channel limit (Eq. 2a with
     ``m = 1 + 3 T_ox/W_dep``).
@@ -94,13 +98,15 @@ def inverse_subthreshold_slope(stack: GateStack, w_dep_cm: float,
 
 
 def slope_mv_per_decade(slope_v_per_decade: float) -> float:
-    """Convenience: V/dec -> mV/dec for reports."""
+    """Convenience: ``slope_v_per_decade`` [v/decade] -> mV/dec for
+    reports."""
     return 1000.0 * slope_v_per_decade
 
 
 def subthreshold_current(i0_a: float, vgs: float, vds: float, vth: float,
                          m: float, temperature_k: float = T_ROOM) -> float:
-    """Weak-inversion drain current per the paper's Eq. 1 [A].
+    """Weak-inversion drain current per the paper's Eq. 1 [A], from
+    prefactor ``i0_a`` [A] at ``temperature_k`` [K].
 
     ``I = I_0 exp((V_gs - V_th)/(m v_T)) (1 - exp(-V_ds / v_T))``
 
@@ -120,7 +126,8 @@ def subthreshold_current(i0_a: float, vgs: float, vds: float, vth: float,
 
 
 def on_off_ratio(i_on_a: float, i_off_a: float) -> float:
-    """``I_on / I_off``; guards against non-physical inputs."""
+    """``i_on_a`` [A] over ``i_off_a`` [A]; guards against
+    non-physical inputs."""
     if i_off_a <= 0.0:
         raise ParameterError("I_off must be positive")
     if i_on_a < 0.0:
@@ -129,7 +136,8 @@ def on_off_ratio(i_on_a: float, i_off_a: float) -> float:
 
 
 def decades_of_drive(vdd: float, slope_v_per_decade: float) -> float:
-    """Number of current decades a supply of ``vdd`` buys: V_dd / S_S.
+    """Number of current decades a supply of ``vdd`` buys:
+    V_dd / ``slope_v_per_decade`` [v/decade].
 
     The paper uses the identity ``S_S = V_dd / log10(I_on/I_off)`` to
     rewrite delay and energy in scaling-parameter form (Eq. 6).

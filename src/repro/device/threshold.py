@@ -49,7 +49,9 @@ LT_CALIBRATION: float = 0.45
 def vth_long_channel(n_eff_cm3: float, stack: GateStack,
                      temperature_k: float = T_ROOM,
                      gate: str = "n+poly") -> float:
-    """Long-channel threshold ``V_FB + 2 phi_F + gamma sqrt(2 phi_F)`` [V]."""
+    """Long-channel threshold ``V_FB + 2 phi_F + gamma sqrt(2 phi_F)``
+    [V] for channel doping ``n_eff_cm3`` [cm3] at ``temperature_k``
+    [K]."""
     phi_f = fermi_potential(n_eff_cm3, temperature_k)
     gamma = body_factor(n_eff_cm3, stack)
     vfb = flatband_voltage(n_eff_cm3, temperature_k, gate=gate)
@@ -57,7 +59,8 @@ def vth_long_channel(n_eff_cm3: float, stack: GateStack,
 
 
 def characteristic_length(stack: GateStack, w_dep_cm: float) -> float:
-    """Quasi-2-D characteristic length ``l_t`` [cm].
+    """Quasi-2-D characteristic length ``l_t`` [cm], from depletion
+    width ``w_dep_cm`` [cm].
 
     ``l_t = LT_CALIBRATION * sqrt((eps_si / eps_ox) * T_ox * W_dep)``;
     the lateral decay length of source/drain field penetration under
@@ -74,7 +77,9 @@ def characteristic_length(stack: GateStack, w_dep_cm: float) -> float:
 def delta_vth_sce(l_eff_cm: float, stack: GateStack, w_dep_cm: float,
                   n_eff_cm3: float, vds: float,
                   temperature_k: float = T_ROOM) -> float:
-    """Short-channel V_th reduction (charge sharing + DIBL) [V].
+    """Short-channel V_th reduction (charge sharing + DIBL) [V] for a
+    channel of ``l_eff_cm`` [cm], depletion width ``w_dep_cm`` [cm],
+    doping ``n_eff_cm3`` [cm3], at ``temperature_k`` [K].
 
     Liu's quasi-2-D result, first and second order terms:
 
@@ -113,28 +118,31 @@ class ThresholdModel:
     gate: str = "n+poly"
 
     def channel_state(self, l_eff_cm: float | None = None) -> tuple[float, float]:
-        """Return ``(N_eff, W_dep)`` for the given (or native) length."""
+        """Return ``(N_eff, W_dep)`` at length ``l_eff_cm`` [cm]
+        (native when None)."""
         l_eff = self.geometry.l_eff_cm if l_eff_cm is None else l_eff_cm
         return self_consistent_channel_doping(
             self.profile, l_eff, temperature_k=self.temperature_k
         )
 
     def n_eff(self, l_eff_cm: float | None = None) -> float:
-        """Effective channel doping [cm^-3]."""
+        """Effective channel doping [cm3] at length ``l_eff_cm`` [cm]."""
         return self.channel_state(l_eff_cm)[0]
 
     def w_dep(self, l_eff_cm: float | None = None) -> float:
-        """Depletion width [cm]."""
+        """Depletion width [cm] at length ``l_eff_cm`` [cm]."""
         return self.channel_state(l_eff_cm)[1]
 
     def vth0(self, l_eff_cm: float | None = None) -> float:
-        """Long-channel component of V_th (includes halo roll-up) [V]."""
+        """Long-channel component of V_th at length ``l_eff_cm`` [cm]
+        (includes halo roll-up) [V]."""
         n_eff, _ = self.channel_state(l_eff_cm)
         return vth_long_channel(n_eff, self.stack, self.temperature_k,
                                 gate=self.gate)
 
     def vth(self, vds: float = 0.05, l_eff_cm: float | None = None) -> float:
-        """Threshold voltage at the given drain bias [V]."""
+        """Threshold voltage [V] at the given drain bias and length
+        ``l_eff_cm`` [cm]."""
         l_eff = self.geometry.l_eff_cm if l_eff_cm is None else l_eff_cm
         n_eff, w_dep = self.channel_state(l_eff)
         v0 = vth_long_channel(n_eff, self.stack, self.temperature_k,
@@ -152,7 +160,8 @@ class ThresholdModel:
         return 1000.0 * dv / (vdd - vds_lin)
 
     def rolloff_curve(self, l_eff_values_cm, vds: float = 0.05):
-        """V_th versus channel length (roll-off/roll-up characteristic).
+        """V_th versus channel lengths ``l_eff_values_cm`` [cm]
+        (roll-off/roll-up characteristic).
 
         Returns a list of ``(l_eff_cm, vth_v)`` pairs.
         """

@@ -6,6 +6,14 @@ fixed.  Every entry must carry a ``justification`` string — the
 reviewer's reason the finding is acceptable — so a baseline entry is
 an explicit decision, not a silent mute.
 
+Schema 2 tightens what counts as a justification: it must *cite a
+reviewable artefact* — a file path, a named docstring, a paper anchor
+(``Eq. 9``, ``Fig. 5``, ``Table 2``), or a test — so the next reader
+can check the claim instead of taking it on faith.  ``load`` rejects
+entries whose justification cites nothing (including the
+``TODO: justify`` placeholder ``--update-baseline`` writes), which is
+what keeps a placeholder from quietly shipping.
+
 Entries are keyed by :attr:`repro.lint.findings.Finding.fingerprint`
 (rule id + path + offending line text), which survives line-number
 drift; when the offending line itself changes, the entry stops
@@ -16,6 +24,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 
 from ..errors import ParameterError
 from .findings import Finding
@@ -23,7 +32,33 @@ from .findings import Finding
 #: Default baseline location relative to the repository root.
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
-_SCHEMA = 1
+_SCHEMA = 2
+
+#: What counts as a citation of a reviewable artefact inside a
+#: justification.  Alternatives, in order: a repo file path
+#: (``src/repro/circuit/netlist.py``, ``DESIGN.md``, ``docs/...``), a
+#: paper anchor (``Eq. 9``, ``Fig. 5``, ``Table 2``, ``Sec. 3``), the
+#: word ``docstring`` (the contract text of the flagged callable or
+#: class), or a named test (``test_lint_rules.py``, ``test_snm...``).
+_ARTEFACT_RE = re.compile(
+    r"(?:"
+    r"[\w./-]+\.(?:py|md|rst|json|yml|yaml|toml)\b"
+    r"|\b(?:eq|fig|figure|table|sec|section)\.?\s*[0-9]"
+    r"|\bdocstring\b"
+    r"|\btest_\w+"
+    r")",
+    re.IGNORECASE)
+
+
+def artefact_reference(justification: str) -> str | None:
+    """The first artefact citation in a justification, or None.
+
+    This is the schema-2 admission test for baseline entries; it is
+    exposed for tests and for error messages that want to show what
+    *would* have counted.
+    """
+    match = _ARTEFACT_RE.search(justification)
+    return match.group(0) if match else None
 
 
 class Baseline:
@@ -61,7 +96,10 @@ class Baseline:
         if payload.get("schema") != _SCHEMA:
             raise ParameterError(
                 f"baseline {path} has schema {payload.get('schema')!r}; "
-                f"this checker reads schema {_SCHEMA}")
+                f"this checker reads schema {_SCHEMA} (schema 1 files "
+                "migrate by adding an artefact citation — a file path, "
+                "docstring, Eq./Fig./Table anchor, or test — to every "
+                "justification and bumping the schema field)")
         entries: dict[str, dict[str, str]] = {}
         for entry in payload.get("findings", []):
             fingerprint = entry.get("fingerprint")
@@ -72,6 +110,14 @@ class Baseline:
                 raise ParameterError(
                     f"baseline {path}: entry {fingerprint} has no "
                     "justification; baselined findings must say why")
+            if artefact_reference(entry["justification"]) is None:
+                raise ParameterError(
+                    f"baseline {path}: entry {fingerprint} "
+                    f"({entry.get('rule', '?')} in "
+                    f"{entry.get('path', '?')}) has a justification that "
+                    "cites no reviewable artefact; reference a file "
+                    "path, a docstring, a paper anchor (Eq./Fig./Table "
+                    "n), or a test")
             entries[fingerprint] = {
                 "rule": entry.get("rule", ""),
                 "path": entry.get("path", ""),
@@ -86,8 +132,9 @@ class Baseline:
         """Baseline covering ``findings``, keeping prior justifications.
 
         New entries get a ``"TODO: justify"`` placeholder the reviewer
-        must replace — :meth:`load` accepts it (it is non-empty) but
-        code review should not.
+        must replace with an artefact-citing justification before the
+        next lint run — :meth:`load` rejects the placeholder (it cites
+        no artefact), so an unreviewed entry cannot quietly ship.
         """
         previous = previous or cls()
         entries: dict[str, dict[str, str]] = {}
@@ -110,8 +157,10 @@ class Baseline:
             "schema": _SCHEMA,
             "comment": "Grandfathered `repro lint` findings. Entries are "
                        "keyed by fingerprint (rule|path|line text); each "
-                       "must carry a justification. Fix the code instead "
-                       "of adding entries whenever possible.",
+                       "must carry a justification citing a reviewable "
+                       "artefact (file path, docstring, Eq./Fig./Table "
+                       "anchor, or test). Fix the code instead of adding "
+                       "entries whenever possible.",
             "findings": [
                 dict(fingerprint=fp, **entry)
                 for fp, entry in sorted(self.entries.items(),

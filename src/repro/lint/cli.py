@@ -15,6 +15,7 @@ from ..errors import ParameterError
 from .baseline import Baseline, DEFAULT_BASELINE_NAME
 from .context import ProjectContext
 from .engine import LintReport, lint_paths
+from .findings import Finding
 
 
 def default_root() -> pathlib.Path:
@@ -56,7 +57,8 @@ def run_lint_command(paths: list[str] | None = None,
                      output_format: str = "text",
                      root: str | None = None,
                      baseline_path: str | None = None,
-                     update_baseline: bool = False) -> int:
+                     update_baseline: bool = False,
+                     explain: str | None = None) -> int:
     """Body of ``repro lint``; returns the process exit code."""
     root_dir = pathlib.Path(root).resolve() if root else default_root()
     if not (root_dir / "src" / "repro").is_dir():
@@ -64,6 +66,10 @@ def run_lint_command(paths: list[str] | None = None,
               "root (no src/repro)", file=sys.stderr)
         return 2
     context = ProjectContext(root_dir)
+    if explain is not None:
+        # In explain mode the positional arguments select findings
+        # (fingerprint prefix or path[:line]), not files to lint.
+        return _explain(explain, paths or [], context)
     files = _resolve_files(root_dir, context, paths)
     if files is None:
         return 2
@@ -88,8 +94,66 @@ def run_lint_command(paths: list[str] | None = None,
     return 0 if report.clean else 1
 
 
+def _matches_selector(finding: "Finding", selector: str) -> bool:
+    """Selector forms: fingerprint prefix (>= 6 hex), path, path:line."""
+    if len(selector) >= 6 and all(c in "0123456789abcdef"
+                                  for c in selector):
+        if finding.fingerprint.startswith(selector):
+            return True
+    path, _, line_text = selector.partition(":")
+    if line_text:
+        try:
+            return (finding.path.endswith(path)
+                    and finding.line == int(line_text))
+        except ValueError:
+            return False
+    return finding.path.endswith(path)
+
+
+def _explain(rule_id: str, selectors: list[str],
+             context: ProjectContext) -> int:
+    """``repro lint --explain RULE [SELECTOR ...]``.
+
+    Prints the rule's catalogue entry, then every matching finding —
+    *including* suppressed and baselined ones — with its derivation
+    chain (the inferred unit chain for RPR011/RPR012).  Exit 0 when at
+    least one finding matched, 1 otherwise, 2 for an unknown rule.
+    """
+    from .engine import all_rules
+    rule_id = rule_id.upper()
+    by_id = {rule.rule_id: rule for rule in all_rules()}
+    rule = by_id.get(rule_id)
+    if rule is None:
+        print(f"error: unknown rule {rule_id!r}; known: "
+              + ", ".join(sorted(by_id)), file=sys.stderr)
+        return 2
+    print(f"{rule.rule_id}: {rule.title}")
+    print(f"  rationale: {rule.rationale}")
+    report = lint_paths(context.source_files(), context, Baseline(),
+                        rules=[rule])
+    shown = 0
+    for finding in sorted(report.findings,
+                          key=lambda f: (f.path, f.line, f.col)):
+        if selectors and not any(_matches_selector(finding, s)
+                                 for s in selectors):
+            continue
+        shown += 1
+        print()
+        print(finding.render())
+        print(f"  fingerprint: {finding.fingerprint}")
+        for step in finding.explanation:
+            print(f"    {step}")
+    if not shown:
+        target = " matching " + " ".join(selectors) if selectors else ""
+        print(f"\nno {rule_id} findings{target} in the repository")
+        return 1
+    return 0
+
+
 def _emit(report: LintReport, output_format: str) -> None:
     if output_format == "json":
         print(json.dumps(report.to_json(), indent=2))
+    elif output_format == "sarif":
+        print(json.dumps(report.to_sarif(), indent=2))
     else:
         print(report.render_text())

@@ -29,6 +29,20 @@ ENGINE_PACKAGES = ("device", "tcad", "circuit", "scaling", "materials",
 #: Sub-packages whose float parameters must carry unit suffixes (RPR005).
 UNIT_SUFFIX_PACKAGES = ("device", "tcad", "circuit")
 
+#: Sub-packages the unit-dataflow rules (RPR011/RPR012) check.
+DATAFLOW_PACKAGES = ("device", "tcad", "circuit", "scaling",
+                     "variability", "service")
+
+#: Voltage names in the paper's notation (volts by repo convention):
+#: a ``v``-rooted base (``vdd``, ``vgs``, ``v_il``, ``vfb`` ...) with an
+#: optional polarity/range/regime modifier (``vth_n``, ``vdd_lo``,
+#: ``vds_lin``), plus the surface-potential symbols.  Shared by RPR005
+#: (naming compliance) and the RPR011/RPR012 dataflow seeds.
+VOLTAGE_NAME_RE = re.compile(
+    r"^v_?(dd|in|out|gs|ds|bs|sb|gb|th|fb|g|d|s|b|min|max|il|ih|ol|oh)?"
+    r"(_(n|p|lo|hi|low|high|lin|sat|il|ih|ol|oh))?$"
+)
+
 
 class ModuleUnit:
     """One parsed source file handed to the rules.
@@ -200,6 +214,30 @@ class ProjectContext:
             elif target.id == "DYNAMIC_COUNTER_PREFIXES":
                 prefixes = tuple(self._string_elements(value))
         return known, prefixes
+
+    @functools.cached_property
+    def function_unit_facts(self) -> dict[str, object]:
+        """Merged cross-file unit facts for every repro callable.
+
+        Maps bare callable names to
+        :class:`repro.lint.units_dataflow.FunctionFact` records holding
+        parameter and return units harvested from signatures and
+        docstring ``[unit]`` brackets.  Same-named callables that
+        disagree are merged conservatively (agreeing params only, no
+        positional mapping), so RPR012 never checks a guess.
+        """
+        from .units_dataflow import harvest_module_facts, merge_facts
+        facts = []
+        for path in self.source_files():
+            try:
+                tree = ast.parse(path.read_text(), filename=str(path))
+            except SyntaxError:
+                continue
+            rel = path.relative_to(self.root).as_posix()
+            dotted = rel.removeprefix("src/").removesuffix(".py")
+            dotted = dotted.removesuffix("/__init__").replace("/", ".")
+            facts.extend(harvest_module_facts(tree, dotted))
+        return dict(merge_facts(facts))
 
     @staticmethod
     def _string_elements(node: ast.expr) -> list[str]:

@@ -54,11 +54,13 @@ class Rule:
         yield  # pragma: no cover
 
     def finding(self, module: ModuleUnit, line: int, col: int,
-                message: str) -> Finding:
+                message: str,
+                explanation: tuple[str, ...] = ()) -> Finding:
         """Helper building a :class:`Finding` with the line text filled."""
         return Finding(rule_id=self.rule_id, path=module.rel_path,
                        line=line, col=col, message=message,
-                       line_text=module.line_text(line))
+                       line_text=module.line_text(line),
+                       explanation=explanation)
 
 
 def register(rule_cls: type[Rule]) -> type[Rule]:
@@ -137,6 +139,78 @@ class LintReport:
             "suppressed": sum(1 for f in self.findings if f.suppressed),
             "stale_baseline": self.stale_baseline,
             "findings": [f.to_json() for f in ordered],
+        }
+
+    def to_sarif(self) -> dict[str, object]:
+        """SARIF 2.1.0 log for code-scanning upload (``--format sarif``).
+
+        Every finding becomes a ``result``; noqa-suppressed and
+        baselined findings carry a SARIF ``suppressions`` entry (kind
+        ``inSource`` / ``external``) so scanners show them as reviewed
+        rather than open.  Paths are repository-relative URIs and the
+        baseline fingerprint rides along as a partial fingerprint, so
+        uploads deduplicate the same way the baseline file does.
+        """
+        rules_meta: list[dict[str, object]] = [{
+            "id": "RPR000",
+            "shortDescription": {"text": "file does not parse"},
+            "fullDescription": {
+                "text": "a syntax error blocks every other check; "
+                        "reported so broken files fail the lint gate"},
+            "defaultConfiguration": {"level": "error"},
+        }]
+        for rule_id, title, rationale in rule_catalogue():
+            rules_meta.append({
+                "id": rule_id,
+                "shortDescription": {"text": title},
+                "fullDescription": {"text": rationale},
+                "defaultConfiguration": {"level": "error"},
+            })
+        results: list[dict[str, object]] = []
+        ordered = sorted(self.findings,
+                         key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        for finding in ordered:
+            result: dict[str, object] = {
+                "ruleId": finding.rule_id,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path,
+                                             "uriBaseId": "SRCROOT"},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                            "snippet": {"text": finding.line_text},
+                        },
+                    },
+                }],
+                "partialFingerprints": {
+                    "reproLintFingerprint/v1": finding.fingerprint},
+            }
+            if finding.suppressed:
+                result["suppressions"] = [{
+                    "kind": "inSource",
+                    "justification": "inline '# repro: noqa' marker"}]
+            elif finding.baselined:
+                result["suppressions"] = [{
+                    "kind": "external",
+                    "justification": "grandfathered in lint-baseline.json"}]
+            results.append(result)
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-lint",
+                    "rules": rules_meta,
+                }},
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {
+                        "text": "repository root"}}},
+                "results": results,
+            }],
         }
 
 

@@ -34,6 +34,10 @@ class Finding:
         True when an inline ``# repro: noqa[RULE]`` covers this line.
     baselined:
         True when the checked-in baseline grandfathers this finding.
+    explanation:
+        Optional derivation trace (one step per line) attached by
+        rules that infer facts — the unit chains of RPR011/RPR012 —
+        printed by ``repro lint --explain``.
     """
 
     rule_id: str
@@ -44,6 +48,7 @@ class Finding:
     line_text: str = ""
     suppressed: bool = field(default=False, compare=False)
     baselined: bool = field(default=False, compare=False)
+    explanation: tuple[str, ...] = field(default=(), compare=False)
 
     @property
     def fingerprint(self) -> str:
@@ -68,7 +73,7 @@ class Finding:
 
     def to_json(self) -> dict[str, object]:
         """JSON-serialisable form for ``--format json``."""
-        return {
+        payload: dict[str, object] = {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
@@ -78,3 +83,6 @@ class Finding:
             "suppressed": self.suppressed,
             "baselined": self.baselined,
         }
+        if self.explanation:
+            payload["explanation"] = list(self.explanation)
+        return payload

@@ -14,13 +14,16 @@ module            rules                                       motivated by
 ``state``         RPR008 mutable defaults / module state      PR 4
 ``rootsolve``     RPR009 hand-rolled masked solve loops       PR 6
 ``docstrings``    RPR010 service docstring unit declarations  PR 7
+``units_flow``    RPR011 mixed-unit arithmetic/rebinds,       PR 10
+                  RPR012 call-site unit conflicts
 ================  ==========================================  =============
 """
 
 from __future__ import annotations
 
 from . import (determinism, docstrings, exceptions, naming, numerics,
-               parity, perf_counters, rootsolve, state)
+               parity, perf_counters, rootsolve, state, units_flow)
 
 __all__ = ["determinism", "docstrings", "exceptions", "naming",
-           "numerics", "parity", "perf_counters", "rootsolve", "state"]
+           "numerics", "parity", "perf_counters", "rootsolve", "state",
+           "units_flow"]

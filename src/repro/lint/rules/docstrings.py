@@ -10,8 +10,12 @@ The rule checks every public function (module-level, or a public
 method of a public class) in ``repro.service``, ``repro.variability``
 (the rare-event yield engine is a served surface too: ``repro yield``
 and the ``ext_yield`` experiment are driven straight off its
-docstrings) and ``repro.circuit`` (the netlist/solver layer the
-batched array characterisations build on): each parameter whose
+docstrings), ``repro.circuit`` (the netlist/solver layer the
+batched array characterisations build on), and — since the RPR011/012
+unit-dataflow rules started harvesting docstring brackets as
+cross-file facts — ``repro.device`` and ``repro.tcad``, whose
+compact-model and solver signatures those facts are read from: each
+parameter whose
 name carries a unit suffix from the :mod:`repro.units` vocabulary
 (``l_poly_nm``, ``ioff_target_a_per_um``, ``vdd_v`` ...) must be
 mentioned in the function's docstring together with its bracketed
@@ -31,7 +35,8 @@ from ..engine import Rule, register
 from ..findings import Finding
 
 #: The packages whose public surface is a served contract.
-SERVICE_PACKAGES = frozenset({"service", "variability", "circuit"})
+SERVICE_PACKAGES = frozenset({"service", "variability", "circuit",
+                              "device", "tcad"})
 
 
 def unit_bracket(name: str) -> str:
@@ -49,8 +54,9 @@ def unit_bracket(name: str) -> str:
 class ServiceDocstringUnitsRule(Rule):
     rule_id = "RPR010"
     title = "service docstring missing a parameter's unit"
-    rationale = ("repro.service, repro.variability and repro.circuit are "
-                 "outward-facing contract surfaces; clients read the "
+    rationale = ("repro.service, repro.variability, repro.circuit, "
+                 "repro.device and repro.tcad are contract surfaces — "
+                 "clients (and the RPR011/012 fact harvester) read the "
                  "docstring, not the call site, so unit-suffixed "
                  "parameters must be documented with their bracketed unit")
 
@@ -74,10 +80,13 @@ class ServiceDocstringUnitsRule(Rule):
                         func: ast.FunctionDef | ast.AsyncFunctionDef
                         ) -> Iterator[Finding]:
         args = func.args
+        # Bare single-token names (`m`, `s`) are the paper's
+        # dimensionless symbols, not unit-suffixed quantities.
         suffixed = [arg for arg in (*args.posonlyargs, *args.args,
                                     *args.kwonlyargs)
                     if arg.arg not in ("self", "cls")
                     and not arg.arg.startswith("_")
+                    and "_" in arg.arg
                     and is_unit_suffixed(arg.arg)]
         if not suffixed:
             return

@@ -30,18 +30,12 @@ import re
 from typing import Iterator
 
 from ..context import (ModuleUnit, ProjectContext, UNIT_SUFFIX_PACKAGES,
-                       is_unit_suffixed)
+                       VOLTAGE_NAME_RE, is_unit_suffixed)
 from ..engine import Rule, register
 from ..findings import Finding
 
-#: Voltage names in the paper's notation (volts by repo convention):
-#: a ``v``-rooted base (``vdd``, ``vgs``, ``v_il``, ``vfb`` ...) with an
-#: optional polarity/range/regime modifier (``vth_n``, ``vdd_lo``,
-#: ``vds_lin``), plus the surface-potential symbols.
-_VOLTAGE_RE = re.compile(
-    r"^v_?(dd|in|out|gs|ds|bs|sb|gb|th|fb|g|d|s|b|min|max|il|ih|ol|oh)?"
-    r"(_(n|p|lo|hi|low|high|lin|sat|il|ih|ol|oh))?$"
-)
+#: Shared with the RPR011/RPR012 dataflow seeds — see context.py.
+_VOLTAGE_RE = VOLTAGE_NAME_RE
 
 #: Bare names that are genuinely dimensionless or solver plumbing.
 #: ``margin`` is dimensionless at both call sites (a current ratio in

@@ -1,0 +1,93 @@
+"""RPR011 / RPR012 — unit-dimension dataflow checks.
+
+RPR005 makes units visible in names; these rules make the *arithmetic*
+honour them.  Both are thin wrappers over
+:mod:`repro.lint.units_dataflow`, which infers a unit for every name
+from the suffix vocabulary and propagates it through assignments,
+tuple unpacking and arithmetic on a small dimension lattice.
+
+RPR011 (intraprocedural) flags
+
+* mixed-unit ``+`` / ``-`` / ``%`` / order comparisons
+  (``vdd_v + t_stop_s``, ``l_nm < l_um``),
+* rebinding a unit-suffixed name to a value whose inferred unit
+  conflicts with the suffix (including unit-less results such as a
+  ratio bound to ``*_v``), and
+* returning a conflicting unit from a unit-suffixed function.
+
+RPR012 (cross-file) flags call sites that pass an argument with a
+confidently inferred unit to a parameter whose declared unit (suffix
+or docstring bracket, via
+:attr:`repro.lint.context.ProjectContext.function_unit_facts`)
+conflicts — ``c_f_per_um`` passed where ``r_ohm_per_um`` is expected.
+
+The analysis is gradual: unknown units silence every downstream check,
+so findings are contradictions between two confident inferences, each
+carrying the derivation chain ``repro lint --explain`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import DATAFLOW_PACKAGES, ModuleUnit, ProjectContext
+from ..engine import Rule, register
+from ..findings import Finding
+from ..units_dataflow import FunctionFact, UnitIssue, analyse_module
+
+#: Issue categories each rule owns.
+_RPR011_CATEGORIES = frozenset({"mix", "rebind", "return"})
+_RPR012_CATEGORIES = frozenset({"call"})
+
+
+def _module_issues(module: ModuleUnit,
+                   context: ProjectContext) -> list[UnitIssue]:
+    """Dataflow issues for one module (cached on the ModuleUnit)."""
+    cached = getattr(module, "_unit_issues", None)
+    if cached is None:
+        facts: dict[str, FunctionFact] = (
+            context.function_unit_facts)  # type: ignore[assignment]
+        cached = analyse_module(module.tree, facts)
+        module._unit_issues = cached  # type: ignore[attr-defined]
+    return cached
+
+
+class _UnitFlowRule(Rule):
+    """Shared driver: run the inference once, split issues by rule."""
+
+    categories: frozenset[str] = frozenset()
+
+    def check_module(self, module: ModuleUnit,
+                     context: ProjectContext) -> Iterator[Finding]:
+        if module.top_package not in DATAFLOW_PACKAGES:
+            return
+        for issue in _module_issues(module, context):
+            if issue.category not in self.categories:
+                continue
+            yield self.finding(module, issue.lineno, issue.col,
+                               issue.message, explanation=issue.chain)
+
+
+@register
+class MixedUnitArithmeticRule(_UnitFlowRule):
+    rule_id = "RPR011"
+    title = "mixed-unit arithmetic or conflicting rebind"
+    rationale = ("the paper's claims are dimensional bookkeeping — "
+                 "V_th in volts, I_off in A/um, energy in J; RPR005 "
+                 "puts the unit in the name, this rule checks the "
+                 "arithmetic honours it (vdd_v + t_stop_s is a bug the "
+                 "suffix linter cannot see)")
+    categories = _RPR011_CATEGORIES
+
+
+@register
+class CallSiteUnitRule(_UnitFlowRule):
+    rule_id = "RPR012"
+    title = "argument unit conflicts with parameter's declared unit"
+    rationale = ("mixed-unit calibration constants crossing call "
+                 "boundaries are the classic failure mode the roadmap "
+                 "registry and second device backend will be exposed "
+                 "to; the parameter suffix is a contract, so passing "
+                 "c_f_per_um where r_ohm_per_um is expected must fail "
+                 "the build")
+    categories = _RPR012_CATEGORIES

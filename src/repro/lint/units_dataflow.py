@@ -1,0 +1,1150 @@
+"""Unit-dimension dataflow analysis backing RPR011 / RPR012.
+
+RPR005 checks that float names *carry* a unit suffix; this module
+checks that the suffixes *compose*: it assigns each name a
+:class:`Unit` drawn from the RPR005 suffix vocabulary (seeded from
+:data:`repro.units.SI_PREFIXES`) and propagates units through
+assignments, augmented assignments, tuple unpacking and arithmetic
+with algebraic rules over a small dimension lattice —
+
+* products/quotients compose dimensions and scales
+  (``_v * _a -> _w``, ``_f * _v / _a -> _s``, ``_a / _um ->
+  _a_per_um``),
+* ``+`` / ``-`` / ``%`` and order comparisons require *matching* units
+  (same dimension **and** same scale, so ``l_nm + l_um`` is flagged
+  even though both are lengths),
+* power-of-ten literals shift the scale (``t_ox_nm * 1e-9`` infers
+  metres — the conversion idiom stays clean), other literals are
+  unit-neutral,
+* ``float()`` / ``np.asarray()`` / reductions are transparent,
+  ``np.sqrt`` halves exponents, ``np.exp``-family results are neutral.
+
+The analysis is deliberately *gradual*: an unknown unit silences every
+check downstream, so only contradictions between two confidently
+inferred units are reported.  Three inference seeds are trusted as
+"strong": an identifier unit suffix (``vdd_v``, ``i_off_a_per_um``),
+the repo's voltage-name convention (``vdd``, ``vth_n`` — volts per
+RPR005), and a harvested cross-file function fact (parameter/return
+units read off signatures and docstring ``[unit]`` brackets).
+Conventionally dimensionless names (``xtol``, ``margin`` ...) stay
+*unknown* — the baseline shows several of them are secretly volts.
+
+Every inferred value carries a human-readable derivation chain; the
+rules attach it to their findings so ``repro lint --explain RPR011``
+can print why the checker believes a unit.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import functools
+import math
+from typing import Iterable, Iterator, Mapping
+
+from .context import VOLTAGE_NAME_RE, unit_suffix_vocabulary
+
+# ---------------------------------------------------------------------------
+# The dimension lattice
+# ---------------------------------------------------------------------------
+
+#: Base dimensions: mass, length, time, current, temperature, plus the
+#: repo's pseudo-dimensions (subthreshold-slope decade, per-square
+#: sheet normalisation).  Scales are symbol -> integer exponent maps;
+#: ``"10"`` is the power-of-ten prefix axis and ``"q"`` the electron
+#: charge separating eV from J.
+_DIMS = ("M", "L", "T", "I", "K", "dec", "sq")
+
+
+@dataclasses.dataclass(frozen=True)
+class Unit:
+    """A point on the dimension lattice: dimensions plus scale.
+
+    ``dims`` and ``scale`` are sorted ``(symbol, exponent)`` tuples so
+    units hash and compare structurally.  Two quantities may be added
+    only when their *full* units match; products and quotients compose
+    exponents.
+    """
+
+    dims: tuple[tuple[str, int], ...] = ()
+    scale: tuple[tuple[str, int], ...] = ()
+
+    @staticmethod
+    def _merge(a: tuple[tuple[str, int], ...],
+               b: tuple[tuple[str, int], ...],
+               sign: int) -> tuple[tuple[str, int], ...]:
+        acc = dict(a)
+        for sym, exp in b:
+            acc[sym] = acc.get(sym, 0) + sign * exp
+        return tuple(sorted((s, e) for s, e in acc.items() if e != 0))
+
+    def mul(self, other: "Unit") -> "Unit":
+        return Unit(self._merge(self.dims, other.dims, +1),
+                    self._merge(self.scale, other.scale, +1))
+
+    def div(self, other: "Unit") -> "Unit":
+        return Unit(self._merge(self.dims, other.dims, -1),
+                    self._merge(self.scale, other.scale, -1))
+
+    def pow_int(self, n: int) -> "Unit":
+        return Unit(tuple(sorted((s, e * n) for s, e in self.dims)),
+                    tuple(sorted((s, e * n) for s, e in self.scale)))
+
+    def root(self, n: int) -> "Unit | None":
+        """Exact n-th root, or None when an exponent does not divide."""
+        if any(e % n for _, e in self.dims) or any(e % n
+                                                   for _, e in self.scale):
+            return None
+        return Unit(tuple((s, e // n) for s, e in self.dims),
+                    tuple((s, e // n) for s, e in self.scale))
+
+    def shift_scale(self, pow10: int) -> "Unit":
+        """Unit after the stored *number* is multiplied by 10**pow10."""
+        return Unit(self.dims, self._merge(self.scale, (("10", pow10),), -1))
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return not self.dims and not self.scale
+
+
+DIMENSIONLESS = Unit()
+
+
+def _u(dims: Mapping[str, int], pow10: int = 0,
+       q: int = 0) -> Unit:
+    scale: dict[str, int] = {}
+    if pow10:
+        scale["10"] = pow10
+    if q:
+        scale["q"] = q
+    return Unit(tuple(sorted((d, e) for d, e in dims.items() if e)),
+                tuple(sorted(scale.items())))
+
+
+#: Unprefixed base tokens of the RPR005 vocabulary -> their unit.
+_BASE_UNITS: dict[str, Unit] = {
+    "v": _u({"M": 1, "L": 2, "T": -3, "I": -1}),
+    "a": _u({"I": 1}),
+    "f": _u({"M": -1, "L": -2, "T": 4, "I": 2}),
+    "ohm": _u({"M": 1, "L": 2, "T": -3, "I": -2}),
+    "s": _u({"T": 1}),
+    "hz": _u({"T": -1}),
+    "j": _u({"M": 1, "L": 2, "T": -2}),
+    "w": _u({"M": 1, "L": 2, "T": -3}),
+    "c": _u({"T": 1, "I": 1}),
+    "m": _u({"L": 1}),
+    "cm": _u({"L": 1}, pow10=-2),
+    "um": _u({"L": 1}, pow10=-6),
+    "nm": _u({"L": 1}, pow10=-9),
+    "cm2": _u({"L": 2}, pow10=-4),
+    "um2": _u({"L": 2}, pow10=-12),
+    "nm2": _u({"L": 2}, pow10=-18),
+    "cm3": _u({"L": 3}, pow10=-6),
+    "k": _u({"K": 1}),
+    "ev": _u({"M": 1, "L": 2, "T": -2}, q=1),
+    "dec": _u({"dec": 1}),
+    "decade": _u({"dec": 1}),
+    "sq": _u({"sq": 1}),
+    # Bare multipliers and percentage points are dimensionless for the
+    # lattice; RPR005 already polices where they may appear.
+    "x": DIMENSIONLESS,
+    "pct": DIMENSIONLESS,
+    # plural spellings
+    "ohms": _u({"M": 1, "L": 2, "T": -3, "I": -2}),
+    "farads": _u({"M": -1, "L": -2, "T": 4, "I": 2}),
+    "volts": _u({"M": 1, "L": 2, "T": -3, "I": -1}),
+    "amps": _u({"I": 1}),
+}
+
+#: SI prefix letter -> power-of-ten exponent (lower-case ASCII only,
+#: matching the identifier-suffix vocabulary in repro.lint.context).
+_PREFIX_POW10: dict[str, int] = {
+    "y": -24, "z": -21, "a": -18, "f": -15, "p": -12, "n": -9,
+    "u": -6, "m": -3, "k": 3,
+}
+
+
+@functools.lru_cache(maxsize=1)
+def token_units() -> dict[str, Unit]:
+    """Every vocabulary token (``mv``, ``na``, ``nm`` ...) -> its unit.
+
+    Built against :func:`repro.lint.context.unit_suffix_vocabulary`
+    (itself seeded from :data:`repro.units.SI_PREFIXES`) so the lattice
+    and RPR005 agree on what a legal suffix is.
+    """
+    vocab = unit_suffix_vocabulary()
+    table: dict[str, Unit] = {}
+    for token in vocab:
+        if token in _BASE_UNITS:
+            table[token] = _BASE_UNITS[token]
+            continue
+        prefix, base = token[:1], token[1:]
+        if base in _BASE_UNITS and prefix in _PREFIX_POW10:
+            table[token] = Unit(
+                _BASE_UNITS[base].dims,
+                Unit._merge(_BASE_UNITS[base].scale,
+                            (("10", _PREFIX_POW10[prefix]),), +1))
+    return table
+
+
+#: Render preference: common electrical tokens first, then the rest.
+_RENDER_PREFERENCE = (
+    "v", "a", "s", "w", "j", "f", "ohm", "hz", "c", "m", "k", "ev",
+    "dec", "sq", "nm", "um", "cm", "mv", "mv2", "nm2", "um2", "cm2",
+    "cm3",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def _unit_to_token() -> dict[Unit, str]:
+    table: dict[Unit, str] = {}
+    ordered = list(_RENDER_PREFERENCE) + sorted(token_units())
+    for token in ordered:
+        unit = token_units().get(token)
+        if unit is not None and unit not in table:
+            table[unit] = token
+    return table
+
+
+_QUOTIENT_DENOMS = ("um", "cm", "nm", "m", "dec", "s", "v", "k", "sq",
+                    "um2", "cm2", "nm2", "cm3", "hz")
+
+
+@functools.lru_cache(maxsize=4096)
+def render_unit(unit: Unit) -> str:
+    """Human-readable ``[token]`` text for a lattice point.
+
+    Prefers an exact vocabulary token (``[w]``), then an ``X/Y``
+    quotient of tokens (``[a/um]``), then a raw dimension string.
+    """
+    if unit.is_dimensionless:
+        return "[1]"
+    token = _unit_to_token().get(unit)
+    if token is not None:
+        return f"[{token}]"
+    for den in _QUOTIENT_DENOMS:
+        den_unit = token_units().get(den)
+        if den_unit is None:
+            continue
+        num = _unit_to_token().get(unit.mul(den_unit))
+        if num is not None:
+            return f"[{num}/{den}]"
+        inv = _unit_to_token().get(den_unit.div(unit))
+        if inv is not None:
+            return f"[{den}/{inv}]"
+    parts = [f"{d}^{e}" if e != 1 else d for d, e in unit.dims]
+    tail = "".join(
+        f"*10^{e}" if s == "10" else f"*{s}^{e}" for s, e in unit.scale)
+    return "[" + "*".join(parts) + tail + "]"
+
+
+# ---------------------------------------------------------------------------
+# Suffix / docstring-bracket parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_token(token: str) -> Unit | None:
+    """Unit of one vocabulary token, or None when unrecognised."""
+    return token_units().get(token.lower())
+
+
+#: Stems whose trailing letter is a *paper symbol subscript*, not a
+#: unit: ``phi_f`` / ``phi_t`` (Fermi/thermal potential), ``psi_s`` /
+#: ``psi_a`` (surface potential), ``n_a`` / ``p_h`` (carrier
+#: concentrations).  Names with exactly these stems are never seeded.
+_SYMBOL_STEMS = frozenset({"phi", "psi", "n", "p"})
+
+
+@functools.lru_cache(maxsize=65536)
+def parse_name_unit(name: str) -> Unit | None:
+    """Unit declared by an identifier, or None.
+
+    Recognises the RPR005 voltage-name convention (``vdd``, ``vth_n``
+    -> volts), plain suffixes (``c_load_f``, ``l_poly_nm``) and
+    ``X_per_Y`` compounds (``i_off_a_per_um``).  A bare token with no
+    underscore (``m``, ``s``) is *not* unit-typed — those are the
+    paper's dimensionless symbols and loop temporaries — and neither
+    are private names (``_m``) or Greek-symbol subscripts
+    (``phi_f``, ``psi_s``: see :data:`_SYMBOL_STEMS`).
+    """
+    lowered = name.lower()
+    if VOLTAGE_NAME_RE.match(lowered):
+        return _BASE_UNITS["v"]
+    tokens = lowered.split("_")
+    if len(tokens) < 2 or "" in tokens:
+        return None
+    table = token_units()
+    if len(tokens) >= 3 and tokens[-2] == "per":
+        num = table.get(tokens[-3])
+        den = table.get(tokens[-1])
+        if num is not None and den is not None:
+            return num.div(den)
+        return None
+    if "_".join(tokens[:-1]) in _SYMBOL_STEMS:
+        return None
+    return table.get(tokens[-1])
+
+
+def is_conversion_name(name: str) -> bool:
+    """True for ``X_to_Y`` conversion helpers (``nm_to_cm``).
+
+    Their *value* is a scale factor, so the suffix names the target
+    unit of the conversion, not the unit of the return value as used in
+    expressions (``l_cm / nm_to_cm(1.0)`` is nanometres, not [1]).
+    They are left out of return-unit inference entirely.
+    """
+    return "_to_" in name.lower()
+
+
+def parse_bracket_unit(text: str) -> Unit | None:
+    """Unit of a docstring bracket body (``"nm"``, ``"a/um"``, ``"V"``)."""
+    body = text.strip().lower()
+    if "/" in body:
+        num_text, _, den_text = body.partition("/")
+        num = parse_token(num_text.strip())
+        den = parse_token(den_text.strip())
+        if num is not None and den is not None:
+            return num.div(den)
+        return None
+    return parse_token(body)
+
+
+# ---------------------------------------------------------------------------
+# Cross-file function facts
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class FunctionFact:
+    """Statically harvested unit contract of one callable.
+
+    ``params`` maps parameter names to their declared units (suffix,
+    voltage convention, or docstring ``name ... [unit]`` bracket).
+    ``positional`` is the parameter-name order *excluding* ``self`` /
+    ``cls``; None disables positional mapping (signature collisions).
+    """
+
+    name: str
+    qualname: str
+    params: dict[str, Unit]
+    positional: tuple[str, ...] | None
+    return_unit: Unit | None
+    is_method: bool
+
+
+_DOC_BRACKET_CACHE: dict[int, dict[str, Unit]] = {}
+
+
+def _docstring_param_units(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                           names: Iterable[str]) -> dict[str, Unit]:
+    """``name -> unit`` for params documented as ``name ... [unit]``."""
+    doc = ast.get_docstring(func)
+    if not doc:
+        return {}
+    units: dict[str, Unit] = {}
+    for line in doc.lower().splitlines():
+        if "[" not in line:
+            continue
+        for name in names:
+            if name in units or name.lower() not in line:
+                continue
+            start = line.find("[", line.find(name.lower()))
+            end = line.find("]", start)
+            if start == -1 or end == -1:
+                continue
+            unit = parse_bracket_unit(line[start + 1:end])
+            if unit is not None:
+                units[name] = unit
+    return units
+
+
+def _signature_fact(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                    qualname: str, is_method: bool) -> FunctionFact:
+    args = func.args
+    ordered = [a.arg for a in (*args.posonlyargs, *args.args)]
+    keyword_only = [a.arg for a in args.kwonlyargs]
+    if is_method and ordered and ordered[0] in ("self", "cls"):
+        ordered = ordered[1:]
+    params: dict[str, Unit] = {}
+    for name in (*ordered, *keyword_only):
+        unit = parse_name_unit(name)
+        if unit is not None:
+            params[name] = unit
+    plain = [n for n in (*ordered, *keyword_only) if n not in params]
+    for name, unit in _docstring_param_units(func, plain).items():
+        params[name] = unit
+    return_unit = None
+    if (not func.name.startswith(("from_", "with_", "_"))
+            and not is_conversion_name(func.name)):
+        return_unit = parse_name_unit(func.name)
+    return FunctionFact(name=func.name, qualname=qualname, params=params,
+                        positional=tuple(ordered), return_unit=return_unit,
+                        is_method=is_method)
+
+
+def _dataclass_fact(cls: ast.ClassDef, qualname: str) -> FunctionFact | None:
+    """Constructor fact for a ``@dataclass``-style class (field order)."""
+    decorated = any(
+        (isinstance(d, ast.Name) and d.id == "dataclass")
+        or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+        or (isinstance(d, ast.Call) and (
+            (isinstance(d.func, ast.Name) and d.func.id == "dataclass")
+            or (isinstance(d.func, ast.Attribute)
+                and d.func.attr == "dataclass")))
+        for d in cls.decorator_list)
+    if not decorated:
+        return None
+    fields = [stmt.target.id for stmt in cls.body
+              if isinstance(stmt, ast.AnnAssign)
+              and isinstance(stmt.target, ast.Name)
+              and not stmt.target.id.startswith("_")]
+    params = {name: unit for name in fields
+              if (unit := parse_name_unit(name)) is not None}
+    return FunctionFact(name=cls.name, qualname=qualname, params=params,
+                        positional=tuple(fields), return_unit=None,
+                        is_method=False)
+
+
+def harvest_module_facts(tree: ast.Module,
+                         module_name: str) -> Iterator[FunctionFact]:
+    """Facts for every callable defined at module or class level."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield _signature_fact(node, f"{module_name}.{node.name}",
+                                  is_method=False)
+        elif isinstance(node, ast.ClassDef):
+            init = None
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{module_name}.{node.name}.{stmt.name}"
+                    static = any(isinstance(d, ast.Name)
+                                 and d.id == "staticmethod"
+                                 for d in stmt.decorator_list)
+                    fact = _signature_fact(stmt, qual,
+                                           is_method=not static)
+                    if stmt.name == "__init__":
+                        init = dataclasses.replace(fact, name=node.name)
+                    else:
+                        yield fact
+            if init is not None:
+                yield dataclasses.replace(init, is_method=False)
+            else:
+                fact = _dataclass_fact(node, f"{module_name}.{node.name}")
+                if fact is not None:
+                    yield fact
+
+
+def merge_facts(facts: Iterable[FunctionFact]) -> dict[str, FunctionFact]:
+    """Index facts by bare callable name, degrading on collisions.
+
+    When two same-named callables disagree, the merged fact keeps only
+    the parameter units they agree on and drops positional mapping if
+    the orders differ — checks degrade to keyword arguments, they never
+    guess.
+    """
+    table: dict[str, FunctionFact] = {}
+    for fact in facts:
+        prior = table.get(fact.name)
+        if prior is None:
+            table[fact.name] = fact
+            continue
+        params = {name: unit for name, unit in prior.params.items()
+                  if fact.params.get(name) == unit}
+        positional = (prior.positional
+                      if prior.positional == fact.positional
+                      and prior.is_method == fact.is_method else None)
+        return_unit = (prior.return_unit
+                       if prior.return_unit == fact.return_unit else None)
+        table[fact.name] = FunctionFact(
+            name=fact.name, qualname=prior.qualname, params=params,
+            positional=positional, return_unit=return_unit,
+            is_method=prior.is_method and fact.is_method)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Intraprocedural inference
+# ---------------------------------------------------------------------------
+
+_UNKNOWN = "unknown"
+_NEUTRAL = "neutral"
+_KNOWN = "known"
+
+
+@dataclasses.dataclass(frozen=True)
+class UVal:
+    """Inferred value: unknown, unit-neutral (literals), or a unit.
+
+    ``chain`` records how the unit was derived, newest step last, for
+    ``repro lint --explain``.  ``flex`` marks a unit whose *scale* came
+    from a power-of-ten literal (``1e-6 * vdd``) rather than a suffix:
+    small-step and margin idioms deliberately rescale within a
+    dimension, so flex values match any scale of the same dimensions —
+    only suffix-vs-suffix scale conflicts (``l_nm + l_um``) are hard
+    errors.
+    """
+
+    kind: str = _UNKNOWN
+    unit: Unit = DIMENSIONLESS
+    chain: tuple[str, ...] = ()
+    flex: bool = False
+
+    @property
+    def known(self) -> bool:
+        return self.kind == _KNOWN
+
+
+UNKNOWN = UVal()
+NEUTRAL = UVal(kind=_NEUTRAL)
+
+
+def known(unit: Unit, why: str,
+          parents: tuple[str, ...] = (), flex: bool = False) -> UVal:
+    chain = parents + (why,)
+    if len(chain) > 8:
+        chain = chain[:1] + ("...",) + chain[-6:]
+    return UVal(kind=_KNOWN, unit=unit, chain=chain, flex=flex)
+
+
+def units_conflict(left: UVal, right: UVal) -> bool:
+    """True when two known values cannot legally share an expression.
+
+    A dimension mismatch always conflicts.  A scale-only mismatch
+    conflicts only between two *suffix-anchored* values — once either
+    side has been rescaled by a power-of-ten literal (``flex``), the
+    code is explicitly managing the scale and the lattice stops
+    second-guessing it.
+    """
+    if left.unit.dims != right.unit.dims:
+        return True
+    if left.unit.scale == right.unit.scale:
+        return False
+    return not (left.flex or right.flex)
+
+
+def conflicts_declared(value: UVal, declared: Unit) -> bool:
+    """True when an inferred value violates a declared (suffix) unit."""
+    if value.unit.dims != declared.dims:
+        return True
+    return value.unit.scale != declared.scale and not value.flex
+
+
+def _join_units(left: UVal, right: UVal) -> tuple[Unit, bool]:
+    """Result (unit, flex) of a non-conflicting additive/match join.
+
+    Prefers the suffix-anchored side's unit; the join is flex only when
+    no suffix anchors it.
+    """
+    if left.flex and not right.flex:
+        return right.unit, False
+    if right.flex and not left.flex:
+        return left.unit, False
+    return left.unit, left.flex or right.flex
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitIssue:
+    """One contradiction found by the dataflow pass.
+
+    ``category`` is ``"mix"`` / ``"rebind"`` / ``"return"`` (RPR011) or
+    ``"call"`` (RPR012); ``chain`` is the full derivation trace.
+    """
+
+    category: str
+    lineno: int
+    col: int
+    message: str
+    chain: tuple[str, ...]
+
+
+#: Call targets transparent to units (result = unit of first argument).
+_PRESERVE_CALLS = frozenset({
+    "float", "int", "abs", "round", "sum",
+    "asarray", "array", "atleast_1d", "ravel", "squeeze", "copy",
+    "ascontiguousarray", "real", "absolute", "float64",
+    "nansum", "mean", "nanmean", "median", "nanmedian", "diff",
+    "amin", "amax", "nanmin", "nanmax", "broadcast_to", "zeros_like",
+    "ones_like", "empty_like", "fabs", "floor", "ceil", "rint",
+})
+
+#: Call targets whose known-unit arguments must all agree; the result
+#: takes the common unit.
+_MATCH_CALLS = frozenset({
+    "min", "max", "minimum", "maximum", "fmin", "fmax", "hypot",
+    "isclose", "allclose",
+})
+
+#: Call targets returning a dimensionless / neutral result.
+_NEUTRAL_CALLS = frozenset({
+    "exp", "log", "log10", "log2", "expm1", "log1p", "tanh", "sinh",
+    "cosh", "sign", "isnan", "isfinite", "isinf", "len", "argmin",
+    "argmax", "ndtr", "erf", "erfc", "count_nonzero", "bool", "all",
+    "any", "logical_and", "logical_or", "logical_not", "searchsorted",
+})
+
+#: ndarray methods transparent to units (checked before fact lookup).
+_NDARRAY_PRESERVE = frozenset({
+    "copy", "astype", "sum", "mean", "min", "max", "clip", "reshape",
+    "ravel", "item", "squeeze", "flatten", "take", "transpose",
+})
+
+#: Attribute roots that are external libraries, never repro callables.
+_EXTERNAL_ROOTS = frozenset({
+    "np", "numpy", "math", "sp", "scipy", "os", "json", "ast", "re",
+    "pathlib", "sys", "itertools", "functools", "special", "stats",
+    "linalg", "qmc", "optimize", "interpolate", "plt", "time",
+})
+
+
+def _pow10_exponent(node: ast.expr) -> int | None:
+    """Exponent k when ``node`` is a positive power-of-ten literal."""
+    value: object = None
+    if isinstance(node, ast.Constant):
+        value = node.value
+    elif (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub)
+          and isinstance(node.operand, ast.Constant)):
+        return None  # negative literals never convert units
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return None
+    if value <= 0:
+        return None
+    exponent = math.log10(value)
+    rounded = round(exponent)
+    if math.isclose(exponent, rounded, abs_tol=1e-12) and rounded != 0:
+        return int(rounded)
+    return None
+
+
+def _describe(node: ast.expr, limit: int = 48) -> str:
+    text = ast.unparse(node)
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+class FunctionUnitAnalysis:
+    """One intraprocedural inference pass over a callable (or module).
+
+    Walks the statements in order, maintaining ``env`` (name -> UVal)
+    and appending :class:`UnitIssue` records to ``issues``.  Branches
+    are analysed independently and merged by agreement, so a name bound
+    to different units on two paths degrades to unknown instead of
+    guessing.
+    """
+
+    def __init__(self, facts: Mapping[str, FunctionFact],
+                 self_unit_hint: str = "") -> None:
+        self.facts = facts
+        self.issues: list[UnitIssue] = []
+        self.env: dict[str, UVal] = {}
+        self.declared_return: Unit | None = None
+        self.function_name = self_unit_hint
+
+    # -- entry points --------------------------------------------------
+
+    def analyse_function(self,
+                         func: ast.FunctionDef | ast.AsyncFunctionDef
+                         ) -> list[UnitIssue]:
+        args = func.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            unit = parse_name_unit(arg.arg)
+            if unit is not None:
+                self.env[arg.arg] = known(
+                    unit, f"{arg.arg} is {render_unit(unit)} "
+                          f"(parameter suffix)")
+        self.function_name = func.name
+        if (not func.name.startswith(("from_", "with_", "_"))
+                and not is_conversion_name(func.name)):
+            self.declared_return = parse_name_unit(func.name)
+        self._block(func.body, self.env)
+        return self.issues
+
+    def analyse_module_body(self, body: list[ast.stmt]) -> list[UnitIssue]:
+        self._block(body, self.env)
+        return self.issues
+
+    # -- statement walk ------------------------------------------------
+
+    def _block(self, stmts: list[ast.stmt],
+               env: dict[str, UVal]) -> dict[str, UVal]:
+        for stmt in stmts:
+            env = self._statement(stmt, env)
+        return env
+
+    @staticmethod
+    def _merge_envs(envs: list[dict[str, UVal]]) -> dict[str, UVal]:
+        if not envs:
+            return {}
+        merged: dict[str, UVal] = {}
+        first = envs[0]
+        for name, val in first.items():
+            if all((name in env and env[name].kind == val.kind
+                    and env[name].unit == val.unit) for env in envs[1:]):
+                merged[name] = val
+        return merged
+
+    def _statement(self, stmt: ast.stmt,
+                   env: dict[str, UVal]) -> dict[str, UVal]:
+        self.env = env
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return env  # nested scopes are analysed separately
+        if isinstance(stmt, ast.Assign):
+            value = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._expr(stmt.value)
+                self._bind(stmt.target, stmt.value, value, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            target_val = self._expr(stmt.target)
+            value = self._expr(stmt.value)
+            binop = ast.BinOp(left=stmt.target, op=stmt.op,
+                              right=stmt.value)
+            ast.copy_location(binop, stmt)
+            result = self._binop_value(binop, target_val, value)
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target, stmt.value, result, env,
+                           rebind_check=True)
+            return env
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._expr(stmt.value)
+                if (self.declared_return is not None and value.known
+                        and conflicts_declared(value,
+                                               self.declared_return)):
+                    self._issue(
+                        "return", stmt,
+                        f"{self.function_name}() is unit-suffixed "
+                        f"{render_unit(self.declared_return)} but returns "
+                        f"{_describe(stmt.value)!r} inferred as "
+                        f"{render_unit(value.unit)}",
+                        value.chain)
+            return env
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test)
+            then_env = self._block(list(stmt.body), dict(env))
+            else_env = self._block(list(stmt.orelse), dict(env))
+            return self._merge_envs([then_env, else_env])
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_val = self._expr(stmt.iter)
+            loop_env = dict(env)
+            self._bind(stmt.target, stmt.iter, iter_val, loop_env,
+                       rebind_check=False)
+            self.env = loop_env
+            body_env = self._block(list(stmt.body), loop_env)
+            else_env = self._block(list(stmt.orelse), dict(env))
+            return self._merge_envs([env, body_env, else_env])
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test)
+            body_env = self._block(list(stmt.body), dict(env))
+            else_env = self._block(list(stmt.orelse), dict(env))
+            return self._merge_envs([env, body_env, else_env])
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, item.context_expr,
+                               UNKNOWN, env, rebind_check=False)
+            return self._block(list(stmt.body), env)
+        if isinstance(stmt, ast.Try):
+            body_env = self._block(list(stmt.body), dict(env))
+            handler_envs = [self._block(list(h.body), dict(env))
+                            for h in stmt.handlers]
+            merged = self._merge_envs([body_env, *handler_envs])
+            merged = self._block(list(stmt.orelse), merged)
+            return self._block(list(stmt.finalbody), merged)
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+            return env
+        if isinstance(stmt, (ast.Assert,)):
+            self._expr(stmt.test)
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        return env
+
+    # -- binding -------------------------------------------------------
+
+    def _bind(self, target: ast.expr, value_node: ast.expr, value: UVal,
+              env: dict[str, UVal], rebind_check: bool = True) -> None:
+        if isinstance(target, ast.Name):
+            declared = parse_name_unit(target.id)
+            if declared is not None:
+                if (rebind_check and value.known
+                        and conflicts_declared(value, declared)):
+                    self._issue(
+                        "rebind", target,
+                        f"{target.id!r} is unit-suffixed "
+                        f"{render_unit(declared)} but is bound to "
+                        f"{_describe(value_node)!r} inferred as "
+                        f"{render_unit(value.unit)}",
+                        value.chain)
+                env[target.id] = known(
+                    declared, f"{target.id} is {render_unit(declared)} "
+                              f"(name suffix)")
+            else:
+                env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: list[UVal]
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(
+                    value_node.elts) == len(target.elts):
+                elements = [self._expr(elt) for elt in value_node.elts]
+            else:
+                elements = [UNKNOWN] * len(target.elts)
+            for sub_target, sub_value in zip(target.elts, elements):
+                if isinstance(sub_target, ast.Starred):
+                    continue
+                self._bind(sub_target, value_node, sub_value, env,
+                           rebind_check=rebind_check
+                           and sub_value is not UNKNOWN)
+        # attribute/subscript targets carry their own suffix; no check
+
+    # -- expression inference ------------------------------------------
+
+    def _expr(self, node: ast.expr) -> UVal:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and not isinstance(
+                    node.value, bool):
+                return NEUTRAL
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            unit = parse_name_unit(node.id)
+            if unit is not None:
+                return known(unit,
+                             f"{node.id} is {render_unit(unit)} "
+                             f"(name suffix)")
+            return UNKNOWN
+        if isinstance(node, ast.Attribute):
+            unit = parse_name_unit(node.attr)
+            if unit is not None:
+                return known(unit,
+                             f"{_describe(node)} is {render_unit(unit)} "
+                             f"(attribute suffix)")
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            return self._expr(node.value)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                return self._expr(node.operand)
+            self._expr(node.operand)
+            return UNKNOWN
+        if isinstance(node, ast.BinOp):
+            return self._binop_value(node, self._expr(node.left),
+                                     self._expr(node.right))
+        if isinstance(node, ast.Compare):
+            self._compare(node)
+            return NEUTRAL
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._expr(value)
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test)
+            body = self._expr(node.body)
+            orelse = self._expr(node.orelse)
+            if body.known and orelse.known and body.unit == orelse.unit:
+                return body
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._expr(elt)
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self._expr(node.value)
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._expr(key)
+            for value in node.values:
+                self._expr(value)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _binop_value(self, node: ast.BinOp, left: UVal,
+                     right: UVal) -> UVal:
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mod)):
+            return self._additive(node, left, right)
+        if isinstance(op, ast.Mult):
+            return self._multiplicative(node, left, right, sign=+1)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return self._multiplicative(node, left, right, sign=-1)
+        if isinstance(op, ast.Pow):
+            return self._power(node, left)
+        return UNKNOWN
+
+    def _additive(self, node: ast.BinOp, left: UVal,
+                  right: UVal) -> UVal:
+        if left.known and right.known:
+            if units_conflict(left, right):
+                symbol = {ast.Add: "+", ast.Sub: "-",
+                          ast.Mod: "%"}[type(node.op)]
+                self._issue(
+                    "mix", node,
+                    f"mixed-unit arithmetic: {_describe(node.left)!r} "
+                    f"{render_unit(left.unit)} {symbol} "
+                    f"{_describe(node.right)!r} {render_unit(right.unit)}",
+                    left.chain + right.chain)
+                return UNKNOWN
+            unit, flex = _join_units(left, right)
+            return known(unit,
+                         f"{_describe(node)} keeps {render_unit(unit)}",
+                         left.chain + right.chain, flex=flex)
+        if left.known and right.kind == _NEUTRAL:
+            return left
+        if right.known and left.kind == _NEUTRAL:
+            return right
+        if left.kind == _NEUTRAL and right.kind == _NEUTRAL:
+            return NEUTRAL
+        return UNKNOWN
+
+    def _multiplicative(self, node: ast.BinOp, left: UVal,
+                        right: UVal, sign: int) -> UVal:
+        # Power-of-ten literals shift the scale: `t_ox_nm * 1e-9` is
+        # the conversion-to-metres idiom, not a milli-nano-metre.
+        if left.known and right.kind == _NEUTRAL:
+            pow10 = _pow10_exponent(node.right)
+            if pow10 is not None:
+                shifted = left.unit.shift_scale(sign * pow10)
+                return known(
+                    shifted,
+                    f"{_describe(node)} scales by 10^{sign * pow10} -> "
+                    f"{render_unit(shifted)}", left.chain, flex=True)
+            return left
+        if right.known and left.kind == _NEUTRAL:
+            pow10 = _pow10_exponent(node.left)
+            unit = right.unit if sign > 0 else DIMENSIONLESS.div(right.unit)
+            if pow10 is not None:
+                unit = unit.shift_scale(pow10)
+            return known(unit, f"{_describe(node)} -> {render_unit(unit)}",
+                         right.chain,
+                         flex=right.flex or pow10 is not None)
+        if left.known and right.known:
+            unit = (left.unit.mul(right.unit) if sign > 0
+                    else left.unit.div(right.unit))
+            symbol = "*" if sign > 0 else "/"
+            return known(
+                unit,
+                f"{_describe(node.left)} {render_unit(left.unit)} {symbol} "
+                f"{_describe(node.right)} {render_unit(right.unit)} -> "
+                f"{render_unit(unit)}",
+                left.chain + right.chain, flex=left.flex or right.flex)
+        if left.kind == _NEUTRAL and right.kind == _NEUTRAL:
+            return NEUTRAL
+        return UNKNOWN
+
+    def _power(self, node: ast.BinOp, base: UVal) -> UVal:
+        self._expr(node.right)
+        if not base.known:
+            return NEUTRAL if base.kind == _NEUTRAL else UNKNOWN
+        exponent = node.right
+        value: object = None
+        if isinstance(exponent, ast.Constant):
+            value = exponent.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return UNKNOWN
+        if float(value).is_integer():
+            unit = base.unit.pow_int(int(value))
+            return known(unit,
+                         f"{_describe(node)} -> {render_unit(unit)}",
+                         base.chain, flex=base.flex)
+        if math.isclose(float(value), 0.5):
+            unit = base.unit.root(2)
+            if unit is not None:
+                return known(unit,
+                             f"{_describe(node)} -> {render_unit(unit)}",
+                             base.chain, flex=base.flex)
+        return UNKNOWN
+
+    def _compare(self, node: ast.Compare) -> None:
+        values = [self._expr(node.left)]
+        values += [self._expr(comp) for comp in node.comparators]
+        ops = node.ops
+        for index, op in enumerate(ops):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                   ast.Eq, ast.NotEq)):
+                continue
+            left, right = values[index], values[index + 1]
+            if left.known and right.known and units_conflict(left, right):
+                operands = [node.left, *node.comparators]
+                self._issue(
+                    "mix", node,
+                    f"mixed-unit comparison: "
+                    f"{_describe(operands[index])!r} "
+                    f"{render_unit(left.unit)} vs "
+                    f"{_describe(operands[index + 1])!r} "
+                    f"{render_unit(right.unit)}",
+                    left.chain + right.chain)
+
+    # -- calls ---------------------------------------------------------
+
+    def _call(self, node: ast.Call) -> UVal:
+        arg_values = [self._expr(arg) for arg in node.args
+                      if not isinstance(arg, ast.Starred)]
+        kwarg_values = {kw.arg: self._expr(kw.value)
+                        for kw in node.keywords if kw.arg is not None}
+        name, attr_base = self._call_name(node.func)
+        if name is None:
+            return UNKNOWN
+        if name in ("sqrt",):
+            if arg_values and arg_values[0].known:
+                unit = arg_values[0].unit.root(2)
+                if unit is not None:
+                    return known(unit,
+                                 f"sqrt -> {render_unit(unit)}",
+                                 arg_values[0].chain)
+            return UNKNOWN
+        if name == "square" and arg_values and arg_values[0].known:
+            unit = arg_values[0].unit.pow_int(2)
+            return known(unit, f"square -> {render_unit(unit)}",
+                         arg_values[0].chain)
+        if name in ("where",) and len(arg_values) == 3:
+            return self._require_match(node, arg_values[1:], "np.where")
+        if name in ("clip",) and arg_values:
+            self._require_match(node, arg_values, "clip")
+            return arg_values[0]
+        if name in ("interp",) and len(arg_values) == 3:
+            return arg_values[2]
+        if name in ("trapz", "trapezoid") and len(arg_values) >= 2:
+            y, x = arg_values[0], arg_values[1]
+            if y.known and x.known:
+                unit = y.unit.mul(x.unit)
+                return known(unit, f"integral -> {render_unit(unit)}",
+                             y.chain + x.chain)
+            return UNKNOWN
+        if name in _MATCH_CALLS:
+            return self._require_match(node, arg_values, name)
+        if name in _NEUTRAL_CALLS:
+            return NEUTRAL
+        if name in _PRESERVE_CALLS:
+            return arg_values[0] if arg_values else UNKNOWN
+        if (isinstance(node.func, ast.Attribute)
+                and name in _NDARRAY_PRESERVE):
+            return self._expr(node.func.value)
+        # Cross-file fact lookup (RPR012) — never for external modules.
+        if attr_base in _EXTERNAL_ROOTS:
+            return UNKNOWN
+        fact = self.facts.get(name)
+        if fact is None:
+            unit = None if is_conversion_name(name) else parse_name_unit(name)
+            if unit is not None:
+                return known(unit,
+                             f"{name}() returns {render_unit(unit)} "
+                             f"(callable suffix)")
+            return UNKNOWN
+        self._check_call_against_fact(node, fact, arg_values, kwarg_values)
+        if fact.return_unit is not None:
+            return known(fact.return_unit,
+                         f"{name}() returns "
+                         f"{render_unit(fact.return_unit)} "
+                         f"(suffix of {fact.qualname})")
+        return UNKNOWN
+
+    @staticmethod
+    def _call_name(func: ast.expr) -> tuple[str | None, str | None]:
+        if isinstance(func, ast.Name):
+            return func.id, None
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            root: str | None = None
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                root = base.id
+            return func.attr, root
+        return None, None
+
+    def _require_match(self, node: ast.Call, values: list[UVal],
+                       label: str) -> UVal:
+        units = [v for v in values if v.known]
+        if len(units) >= 2 and any(units_conflict(units[0], u)
+                                   for u in units[1:]):
+            chain: tuple[str, ...] = ()
+            for value in units:
+                chain += value.chain
+            self._issue(
+                "mix", node,
+                f"mixed units in {label}(): "
+                + " vs ".join(render_unit(u.unit) for u in units),
+                chain)
+            return UNKNOWN
+        if units:
+            joined = units[0]
+            for value in units[1:]:
+                unit, flex = _join_units(joined, value)
+                joined = dataclasses.replace(joined, unit=unit, flex=flex)
+            return joined
+        return NEUTRAL if values and all(
+            v.kind == _NEUTRAL for v in values) else UNKNOWN
+
+    def _check_call_against_fact(self, node: ast.Call, fact: FunctionFact,
+                                 arg_values: list[UVal],
+                                 kwarg_values: dict[str, UVal]) -> None:
+        has_star = any(isinstance(arg, ast.Starred) for arg in node.args)
+        pairs: list[tuple[str, UVal, ast.expr]] = []
+        if fact.positional is not None and not has_star:
+            plain_args = [a for a in node.args
+                          if not isinstance(a, ast.Starred)]
+            offset = 0
+            if (fact.is_method and isinstance(node.func, ast.Name)):
+                return  # Class.method(obj, ...) — mapping is ambiguous
+            for index, (value, arg_node) in enumerate(
+                    zip(arg_values, plain_args)):
+                if index + offset >= len(fact.positional):
+                    break
+                pairs.append((fact.positional[index + offset], value,
+                              arg_node))
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in kwarg_values:
+                pairs.append((kw.arg, kwarg_values[kw.arg], kw.value))
+        for param, value, arg_node in pairs:
+            declared = fact.params.get(param)
+            if declared is None or not value.known:
+                continue
+            if conflicts_declared(value, declared):
+                self._issue(
+                    "call", node,
+                    f"argument {_describe(arg_node)!r} inferred as "
+                    f"{render_unit(value.unit)} is passed to parameter "
+                    f"{param!r} of {fact.qualname}() declared "
+                    f"{render_unit(declared)}",
+                    value.chain
+                    + (f"{param} is {render_unit(declared)} "
+                       f"(signature of {fact.qualname})",))
+
+    # -- issue emission ------------------------------------------------
+
+    def _issue(self, category: str, node: ast.AST, message: str,
+               chain: tuple[str, ...]) -> None:
+        deduped: list[str] = []
+        for step in chain:
+            if step not in deduped:
+                deduped.append(step)
+        self.issues.append(UnitIssue(
+            category=category,
+            lineno=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            chain=tuple(deduped)))
+
+
+def analyse_module(tree: ast.Module,
+                   facts: Mapping[str, FunctionFact]) -> list[UnitIssue]:
+    """All unit issues in one module: module body plus every callable."""
+    issues: list[UnitIssue] = []
+    module_pass = FunctionUnitAnalysis(facts)
+    issues.extend(module_pass.analyse_module_body(tree.body))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            analysis = FunctionUnitAnalysis(facts)
+            issues.extend(analysis.analyse_function(node))
+    return issues

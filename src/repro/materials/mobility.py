@@ -52,13 +52,13 @@ def masetti_mobility(doping_cm3: float, carrier: str = "electron") -> float:
     return max(mu, 10.0)
 
 
-def vertical_field_factor(eff_field_v_cm: float, carrier: str = "electron") -> float:
+def vertical_field_factor(eff_field_v_per_cm: float, carrier: str = "electron") -> float:
     """Universal-mobility degradation factor (<= 1) vs effective field.
 
     ``1 / (1 + (E_eff/E_0)^nu)`` with the usual electron/hole constants
     (E_0 ~ 0.67 MV/cm, nu ~ 1.6 for electrons).
     """
-    if eff_field_v_cm < 0.0:
+    if eff_field_v_per_cm < 0.0:
         raise ParameterError("effective field must be >= 0")
     if carrier == "electron":
         e0, nu = 6.7e5, 1.6
@@ -66,7 +66,7 @@ def vertical_field_factor(eff_field_v_cm: float, carrier: str = "electron") -> f
         e0, nu = 7.0e5, 1.0
     else:
         raise ParameterError(f"unknown carrier {carrier!r}")
-    return 1.0 / (1.0 + (eff_field_v_cm / e0) ** nu)
+    return 1.0 / (1.0 + (eff_field_v_per_cm / e0) ** nu)
 
 
 def saturation_velocity(carrier: str = "electron") -> float:
@@ -105,10 +105,10 @@ class MobilityModel:
         mu300 = masetti_mobility(doping_cm3, self.carrier)
         return mu300 * (self.temperature_k / 300.0) ** -2.2
 
-    def effective(self, doping_cm3: float, eff_field_v_cm: float) -> float:
+    def effective(self, doping_cm3: float, eff_field_v_per_cm: float) -> float:
         """Effective inversion-layer mobility [cm^2/Vs]."""
         return self.low_field(doping_cm3) * vertical_field_factor(
-            eff_field_v_cm, self.carrier
+            eff_field_v_per_cm, self.carrier
         )
 
     def vsat(self) -> float:
@@ -118,7 +118,7 @@ class MobilityModel:
 
 def effective_mobility(
     doping_cm3: float,
-    eff_field_v_cm: float = 0.0,
+    eff_field_v_per_cm: float = 0.0,
     carrier: str = "electron",
     temperature_k: float = 300.0,
 ) -> float:
@@ -128,4 +128,4 @@ def effective_mobility(
     True
     """
     model = MobilityModel(carrier=carrier, temperature_k=temperature_k)
-    return model.effective(doping_cm3, eff_field_v_cm)
+    return model.effective(doping_cm3, eff_field_v_per_cm)

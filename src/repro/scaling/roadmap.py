@@ -60,8 +60,9 @@ class NodeSpec:
     generation: int
 
     def __post_init__(self) -> None:
-        if min(self.node_nm, self.l_poly_nm, self.t_ox_nm,
-               self.vdd_nominal, self.ioff_target_a_per_um) <= 0.0:
+        if any(entry <= 0.0 for entry in (
+                self.node_nm, self.l_poly_nm, self.t_ox_nm,
+                self.vdd_nominal, self.ioff_target_a_per_um)):
             raise ParameterError(f"non-positive entry in node {self.name!r}")
 
 

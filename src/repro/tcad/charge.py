@@ -79,7 +79,7 @@ def sheet_charges_batch(batch: BatchPoissonSolution) -> SheetChargesBatch:
                              total=inversion + depletion)
 
 
-def surface_field_v_cm(solution: PoissonSolution) -> float:
+def surface_field_v_per_cm(solution: PoissonSolution) -> float:
     """Electric field at the silicon surface [V/cm] (into the bulk)."""
     y = solution.mesh.nodes_cm
     psi = solution.psi_v

@@ -62,7 +62,8 @@ class IdVgCurve:
 
 def extract_vth_constant_current(curve: IdVgCurve,
                                  criterion_a: float) -> float:
-    """Constant-current V_th: the V_gs where I_d crosses ``criterion_a``.
+    """Constant-current V_th: the V_gs where I_d crosses
+    ``criterion_a`` [A].
 
     Uses log-linear interpolation between bracketing sweep points.
     """
@@ -101,7 +102,8 @@ def extract_ss(curve: IdVgCurve, decade_low: float = 3.0,
 
 def extract_dibl(lin_curve: IdVgCurve, sat_curve: IdVgCurve,
                  criterion_a: float) -> float:
-    """DIBL [mV/V] from a linear/saturation pair of transfer curves."""
+    """DIBL [mV/V] from a linear/saturation pair of transfer curves
+    at the constant-current criterion ``criterion_a`` [A]."""
     if sat_curve.vds <= lin_curve.vds:
         raise ParameterError("saturation curve must have the larger vds")
     vth_lin = extract_vth_constant_current(lin_curve, criterion_a)

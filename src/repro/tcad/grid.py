@@ -40,10 +40,11 @@ class Mesh1D:
     @classmethod
     def geometric(cls, depth_cm: float, n_nodes: int = 201,
                   first_step_cm: float = 1.0e-8) -> "Mesh1D":
-        """Geometrically graded mesh over [0, depth] with a fine surface step.
+        """Geometrically graded mesh over [0, ``depth_cm`` [cm]] with a
+        fine surface step.
 
         The growth ratio is solved so that ``n_nodes - 1`` steps starting
-        at ``first_step_cm`` exactly span ``depth_cm``.
+        at ``first_step_cm`` [cm] exactly span ``depth_cm``.
         """
         if depth_cm <= 0.0:
             raise ParameterError("depth must be positive")

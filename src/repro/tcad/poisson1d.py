@@ -88,13 +88,15 @@ def solve_mos_poisson(
     mesh:
         Vertical mesh (node 0 at the interface).
     doping_cm3:
-        Acceptor concentration at each mesh node (p-type body).
+        Acceptor concentration [cm3] at each mesh node (p-type body).
     stack:
         Gate dielectric.
     vg:
         Gate voltage [V].
     vfb:
         Flat-band voltage [V].
+    temperature_k:
+        Lattice temperature [K].
     initial_psi:
         Optional warm start (e.g. the solution at the previous bias in
         a sweep); dramatically cuts Newton iterations.
@@ -311,7 +313,8 @@ def solve_mos_poisson_batch(
     Parameters
     ----------
     mesh, doping_cm3, stack, vfb, temperature_k, tol, max_iter:
-        As for :func:`solve_mos_poisson`.
+        As for :func:`solve_mos_poisson` (``doping_cm3`` [cm3],
+        ``temperature_k`` [K]).
     vgs:
         Gate voltages, shape ``(n_bias,)`` [V].
     initial_psi:

@@ -25,7 +25,9 @@ from ..device.threshold import N_SOURCE_DRAIN, characteristic_length
 def sce_vth_shift(l_eff_cm: float, stack: GateStack, w_dep_cm: float,
                   n_eff_cm3: float, vds: float,
                   temperature_k: float = T_ROOM) -> float:
-    """Threshold reduction from charge sharing + DIBL [V] (positive).
+    """Threshold reduction from charge sharing + DIBL [V] (positive)
+    for a channel of ``l_eff_cm`` [cm], depletion width ``w_dep_cm``
+    [cm], doping ``n_eff_cm3`` [cm3], at ``temperature_k`` [K].
 
     Same quasi-2-D expression as the compact model — duplicated here so
     the TCAD layer stands alone (mirrors how one would calibrate a
@@ -45,7 +47,9 @@ def sce_vth_shift(l_eff_cm: float, stack: GateStack, w_dep_cm: float,
 
 def slope_degradation_factor(l_eff_cm: float, stack: GateStack,
                              w_dep_cm: float) -> float:
-    """Short-channel subthreshold-swing degradation factor (>= 1).
+    """Short-channel subthreshold-swing degradation factor (>= 1) for
+    a channel of ``l_eff_cm`` [cm] and depletion width ``w_dep_cm``
+    [cm].
 
     The paper's Eq. 2(b) second parenthesis with the same calibrated
     prefactor the compact model uses, so TCAD and compact S_S agree.

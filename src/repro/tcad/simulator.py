@@ -99,7 +99,8 @@ class DeviceSimulator:
 
     def solve(self, vg: float, channel_potential_v: float = 0.0,
               initial_psi: np.ndarray | None = None) -> PoissonSolution:
-        """Solve the vertical Poisson problem at one gate bias."""
+        """Solve the vertical Poisson problem at one gate bias, with
+        quasi-Fermi shift ``channel_potential_v`` [V]."""
         return solve_mos_poisson(
             self._mesh, self._doping, self.device.stack, vg, self._vfb,
             temperature_k=self.device.temperature_k,
@@ -110,7 +111,8 @@ class DeviceSimulator:
     def solve_batch(self, vgs_grid: np.ndarray,
                     channel_potential_v: float | np.ndarray = 0.0
                     ) -> BatchPoissonSolution:
-        """Solve the vertical Poisson problem at every bias in one batch."""
+        """Solve the vertical Poisson problem at every bias in one
+        batch, with quasi-Fermi shift ``channel_potential_v`` [V]."""
         return solve_mos_poisson_batch(
             self._mesh, self._doping, self.device.stack,
             np.asarray(vgs_grid, dtype=float), self._vfb,
@@ -139,7 +141,8 @@ class DeviceSimulator:
     def surface_potential_sweep(self, vgs_grid: np.ndarray,
                                 channel_potential_v: float = 0.0
                                 ) -> np.ndarray:
-        """Surface potential psi_s at each gate voltage."""
+        """Surface potential psi_s at each gate voltage, with
+        quasi-Fermi shift ``channel_potential_v`` [V]."""
         if self.solver == "batch":
             batch = self.solve_batch(vgs_grid, channel_potential_v)
             return batch.surface_potential_v
@@ -149,7 +152,8 @@ class DeviceSimulator:
     def inversion_charge_sweep(self, vgs_grid: np.ndarray,
                                channel_potential_v: float = 0.0
                                ) -> np.ndarray:
-        """Inversion sheet charge [C/cm^2] at each gate voltage."""
+        """Inversion sheet charge [C/cm2] at each gate voltage, with
+        quasi-Fermi shift ``channel_potential_v`` [V]."""
         if self.solver == "batch":
             batch = self.solve_batch(vgs_grid, channel_potential_v)
             return sheet_charges_batch(batch).inversion
@@ -250,7 +254,8 @@ class DeviceSimulator:
 
     def numeric_vth(self, vds: float, criterion_a_per_sq: float = 1.0e-7
                     ) -> float:
-        """Constant-current threshold from the simulated curve [V]."""
+        """Constant-current threshold [V] from the simulated curve at
+        width-normalised criterion ``criterion_a_per_sq`` [a/sq]."""
         dev = self.device
         vth_guess = dev.threshold.vth0()
         vgs = np.linspace(vth_guess - 0.5, vth_guess + 0.5, 61)

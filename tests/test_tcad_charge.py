@@ -6,7 +6,7 @@ import pytest
 from repro.constants import nm_to_cm
 from repro.device.electrostatics import flatband_voltage
 from repro.materials.oxide import sio2
-from repro.tcad.charge import depletion_depth_cm, sheet_charges, surface_field_v_cm
+from repro.tcad.charge import depletion_depth_cm, sheet_charges, surface_field_v_per_cm
 from repro.tcad.grid import Mesh1D
 from repro.tcad.poisson1d import solve_mos_poisson
 
@@ -58,7 +58,7 @@ class TestSheetCharges:
         mesh, doping, vfb = setup
         sol = solve_mos_poisson(mesh, doping, STACK, vg=vfb + 1.5, vfb=vfb)
         sc = sheet_charges(sol)
-        field = surface_field_v_cm(sol)
+        field = surface_field_v_per_cm(sol)
         assert sc.total == pytest.approx(1.0359e-12 * field, rel=0.10)
 
 
